@@ -1,0 +1,95 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §5:
+//! each ablation removes one modelling ingredient of the proposed framework
+//! and reports how far the prediction drifts from the ground truth, next to
+//! the runtime cost of the variant.
+
+use bench::{bench_context, bench_scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xr_core::{AoiModel, LatencyModel, SensorConfig};
+use xr_types::{ExecutionTarget, Hertz, Meters, Seconds};
+
+fn latency_model_variants(c: &mut Criterion) {
+    let scenario = bench_scenario(500.0, ExecutionTarget::Remote);
+    let full = LatencyModel::published();
+    let no_memory = LatencyModel::published().without_memory_terms();
+    let no_buffering = LatencyModel::published().without_buffering();
+
+    let mut group = c.benchmark_group("ablations/latency_model_variants");
+    group.bench_function("full_model", |b| {
+        b.iter(|| black_box(full.analyze(&scenario).unwrap().total()))
+    });
+    group.bench_function("without_memory_terms", |b| {
+        b.iter(|| black_box(no_memory.analyze(&scenario).unwrap().total()))
+    });
+    group.bench_function("without_buffering", |b| {
+        b.iter(|| black_box(no_buffering.analyze(&scenario).unwrap().total()))
+    });
+    group.finish();
+}
+
+fn ablation_accuracy_report(c: &mut Criterion) {
+    // Not a timing-sensitive benchmark: it runs once per sample but its real
+    // output is the printed accuracy drop of each ablation, which feeds
+    // EXPERIMENTS.md.
+    let ctx = bench_context();
+    let scenario = bench_scenario(500.0, ExecutionTarget::Remote);
+    let gt = ctx
+        .testbed()
+        .simulate_session(&scenario, 30)
+        .unwrap()
+        .mean_latency()
+        .as_f64();
+    let report = |name: &str, model: &LatencyModel| {
+        let predicted = model.analyze(&scenario).unwrap().total().as_f64();
+        let err = ((gt - predicted) / gt).abs() * 100.0;
+        println!("ablation `{name}`: predicted {predicted:.4} s vs GT {gt:.4} s ({err:.2}% error)");
+    };
+    report("full", &LatencyModel::published());
+    report("no-memory-terms", &LatencyModel::published().without_memory_terms());
+    report("no-buffering", &LatencyModel::published().without_buffering());
+
+    let mut group = c.benchmark_group("ablations/accuracy_report");
+    group.sample_size(10);
+    group.bench_function("evaluate_all_variants", |b| {
+        b.iter(|| {
+            let full = LatencyModel::published().analyze(&scenario).unwrap().total();
+            let ablated = LatencyModel::published()
+                .without_memory_terms()
+                .analyze(&scenario)
+                .unwrap()
+                .total();
+            black_box((full, ablated))
+        })
+    });
+    group.finish();
+}
+
+fn aoi_queueing_variants(c: &mut Criterion) {
+    let sensor = SensorConfig::new("bench", Hertz::new(100.0), Meters::new(30.0));
+    let approx = AoiModel::published();
+    let exact = AoiModel::with_exact_queueing();
+    let mut group = c.benchmark_group("ablations/aoi_queueing_term");
+    group.bench_function("sojourn_approximation", |b| {
+        b.iter(|| {
+            black_box(
+                approx
+                    .analyze_sensor(&sensor, 2_000.0, Seconds::from_millis(30.0), 6)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("exact_mm1_aoi", |b| {
+        b.iter(|| {
+            black_box(
+                exact
+                    .analyze_sensor(&sensor, 2_000.0, Seconds::from_millis(30.0), 6)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, latency_model_variants, ablation_accuracy_report, aoi_queueing_variants);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks regenerating Fig. 4(e)/(f): the AoI/RoI analysis and its
+//! event-driven ground truth.
+
+use bench::bench_context;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xr_core::{AoiModel, SensorConfig};
+use xr_experiments::aoi_experiments::{aoi_over_time, roi_staircase};
+use xr_testbed::AoiGroundTruth;
+use xr_types::{Hertz, Meters, Seconds};
+
+fn analytic_aoi(c: &mut Criterion) {
+    let model = AoiModel::published();
+    let mut group = c.benchmark_group("fig4_aoi/analytic_series");
+    for freq in [200.0, 100.0, 66.67] {
+        let sensor = SensorConfig::new("bench", Hertz::new(freq), Meters::new(30.0));
+        group.bench_with_input(BenchmarkId::from_parameter(freq as u64), &sensor, |b, s| {
+            b.iter(|| {
+                black_box(
+                    model
+                        .sensor_series(s, 2_000.0, Seconds::from_millis(5.0), 18)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ground_truth_aoi(c: &mut Criterion) {
+    let sensor = SensorConfig::new("bench", Hertz::new(100.0), Meters::new(30.0));
+    c.bench_function("fig4_aoi/ground_truth_series", |b| {
+        b.iter(|| {
+            black_box(
+                AoiGroundTruth::simulate(&sensor, 2_000.0, Seconds::from_millis(5.0), 18, 0.02, 7)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn full_figures(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("fig4_aoi/full_figures");
+    group.sample_size(20);
+    group.bench_function("fig4e", |b| b.iter(|| black_box(aoi_over_time(&ctx).unwrap())));
+    group.bench_function("fig4f", |b| b.iter(|| black_box(roi_staircase(&ctx).unwrap())));
+    group.finish();
+}
+
+criterion_group!(benches, analytic_aoi, ground_truth_aoi, full_figures);
+criterion_main!(benches);

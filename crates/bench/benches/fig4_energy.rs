@@ -1,0 +1,42 @@
+//! Benchmarks regenerating Fig. 4(c)/(d): the energy sweep and the per-frame
+//! analytic energy model.
+
+use bench::{bench_context, bench_scenario, FRAME_SIZES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xr_core::{EnergyModel, LatencyModel};
+use xr_experiments::figures::energy_sweep;
+use xr_types::ExecutionTarget;
+
+fn analytic_energy(c: &mut Criterion) {
+    let latency = LatencyModel::published();
+    let energy = EnergyModel::published();
+    let mut group = c.benchmark_group("fig4_energy/analytic_per_frame");
+    for &size in &FRAME_SIZES {
+        for (label, target) in [("local", ExecutionTarget::Local), ("remote", ExecutionTarget::Remote)] {
+            let scenario = bench_scenario(size, target);
+            group.bench_with_input(
+                BenchmarkId::new(label, size as u64),
+                &scenario,
+                |b, s| b.iter(|| black_box(energy.analyze(&latency, s).unwrap().total())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn full_figure(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("fig4_energy/full_sweep");
+    group.sample_size(10);
+    group.bench_function("fig4c_local", |b| {
+        b.iter(|| black_box(energy_sweep(&ctx, ExecutionTarget::Local).unwrap()))
+    });
+    group.bench_function("fig4d_remote", |b| {
+        b.iter(|| black_box(energy_sweep(&ctx, ExecutionTarget::Remote).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, analytic_energy, full_figure);
+criterion_main!(benches);

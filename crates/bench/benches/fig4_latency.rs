@@ -1,0 +1,42 @@
+//! Benchmarks regenerating Fig. 4(a)/(b): the latency sweep (ground-truth
+//! simulation + analytic evaluation) and the per-frame analytic latency
+//! model on its own.
+
+use bench::{bench_context, bench_scenario, FRAME_SIZES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xr_core::LatencyModel;
+use xr_experiments::figures::latency_sweep;
+use xr_types::ExecutionTarget;
+
+fn analytic_latency(c: &mut Criterion) {
+    let model = LatencyModel::published();
+    let mut group = c.benchmark_group("fig4_latency/analytic_per_frame");
+    for &size in &FRAME_SIZES {
+        for (label, target) in [("local", ExecutionTarget::Local), ("remote", ExecutionTarget::Remote)] {
+            let scenario = bench_scenario(size, target);
+            group.bench_with_input(
+                BenchmarkId::new(label, size as u64),
+                &scenario,
+                |b, s| b.iter(|| black_box(model.analyze(s).unwrap().total())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn full_figure(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("fig4_latency/full_sweep");
+    group.sample_size(10);
+    group.bench_function("fig4a_local", |b| {
+        b.iter(|| black_box(latency_sweep(&ctx, ExecutionTarget::Local).unwrap()))
+    });
+    group.bench_function("fig4b_remote", |b| {
+        b.iter(|| black_box(latency_sweep(&ctx, ExecutionTarget::Remote).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, analytic_latency, full_figure);
+criterion_main!(benches);

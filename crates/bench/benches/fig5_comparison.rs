@@ -1,0 +1,44 @@
+//! Benchmarks regenerating Fig. 5(a)/(b): the proposed-vs-FACT-vs-LEAF
+//! comparison, plus the per-frame cost of each analytical model.
+
+use bench::{bench_context, bench_scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xr_baselines::{BaselineModel, FactModel, LeafModel};
+use xr_core::XrPerformanceModel;
+use xr_experiments::comparison::{comparison_sweep, Metric};
+use xr_types::ExecutionTarget;
+
+fn per_model_cost(c: &mut Criterion) {
+    let scenario = bench_scenario(500.0, ExecutionTarget::Remote);
+    let proposed = XrPerformanceModel::published();
+    let fact = FactModel::new();
+    let leaf = LeafModel::new();
+    let mut group = c.benchmark_group("fig5/per_frame_model_cost");
+    group.bench_function("proposed", |b| {
+        b.iter(|| black_box(proposed.analyze(&scenario).unwrap().latency.total()))
+    });
+    group.bench_function("fact", |b| {
+        b.iter(|| black_box(fact.predict_latency(&scenario).unwrap()))
+    });
+    group.bench_function("leaf", |b| {
+        b.iter(|| black_box(leaf.predict_latency(&scenario).unwrap()))
+    });
+    group.finish();
+}
+
+fn full_figures(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("fig5/full_sweep");
+    group.sample_size(10);
+    group.bench_function("fig5a_latency", |b| {
+        b.iter(|| black_box(comparison_sweep(&ctx, Metric::Latency).unwrap()))
+    });
+    group.bench_function("fig5b_energy", |b| {
+        b.iter(|| black_box(comparison_sweep(&ctx, Metric::Energy).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, per_model_cost, full_figures);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmarks the regression substrate: OLS fits of the paper's four
+//! sub-models at increasing dataset sizes (the paper's campaign is 119 465
+//! records).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xr_devices::DeviceCatalog;
+use xr_testbed::{CalibratedModels, MeasurementCampaign, TestbedSimulator};
+
+fn fit_at_scale(c: &mut Criterion) {
+    let testbed = TestbedSimulator::new(7);
+    let mut group = c.benchmark_group("regression_fit/calibrate_all_submodels");
+    group.sample_size(10);
+    for records in [2_000usize, 10_000, 40_000] {
+        let dataset = MeasurementCampaign::small(7)
+            .with_target_records(records)
+            .collect(testbed.laws(), &DeviceCatalog::training_devices());
+        group.bench_with_input(BenchmarkId::from_parameter(records), &dataset, |b, d| {
+            b.iter(|| black_box(CalibratedModels::fit(d).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn collect_campaign(c: &mut Criterion) {
+    let testbed = TestbedSimulator::new(7);
+    let mut group = c.benchmark_group("regression_fit/collect_campaign");
+    group.sample_size(10);
+    for records in [2_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(records), &records, |b, &r| {
+            b.iter(|| {
+                black_box(
+                    MeasurementCampaign::small(7)
+                        .with_target_records(r)
+                        .collect(testbed.laws(), &DeviceCatalog::training_devices()),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fit_at_scale, collect_campaign);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Every bench target corresponds to a table/figure of the paper (see
+//! DESIGN.md §4) or to an ablation of a design choice (DESIGN.md §5). The
+//! benchmarks measure the cost of regenerating each artifact — the analytic
+//! evaluation itself is microseconds; the ground-truth simulation dominates.
+
+#![warn(missing_docs)]
+
+use xr_core::Scenario;
+use xr_experiments::ExperimentContext;
+use xr_types::{ExecutionTarget, GigaHertz};
+
+/// The frame sizes used by the benchmark sweeps (the paper's x-axis).
+pub const FRAME_SIZES: [f64; 5] = ExperimentContext::FRAME_SIZES;
+
+/// Builds the standard benchmark scenario at a given frame size and target.
+///
+/// # Panics
+///
+/// Panics if the scenario fails validation (it never does for these inputs).
+#[must_use]
+pub fn bench_scenario(frame_size: f64, execution: ExecutionTarget) -> Scenario {
+    Scenario::builder()
+        .frame_side(frame_size)
+        .cpu_clock(GigaHertz::new(2.0))
+        .execution(execution)
+        .build()
+        .expect("valid benchmark scenario")
+}
+
+/// Builds the quick experiment context shared by the figure benches.
+///
+/// # Panics
+///
+/// Panics if calibration fails (it never does for the built-in campaign).
+#[must_use]
+pub fn bench_context() -> ExperimentContext {
+    ExperimentContext::quick(2024).expect("calibration succeeds")
+}

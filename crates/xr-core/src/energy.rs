@@ -1,0 +1,385 @@
+//! The energy-consumption analysis model of Section V (Eqs. 19–21).
+//!
+//! Per-segment energy is the per-segment latency multiplied by the power the
+//! XR device draws while that segment runs: the compute segments use the
+//! mean-power regression of Eq. 21, the radio-bound segments (external
+//! information, transmission, handoff, cooperation, waiting for remote
+//! inference) use a radio power model, and the whole frame additionally pays
+//! base power `E_base` and a thermal-conversion share `E_θ`.
+
+use crate::latency::{LatencyBreakdown, LatencyModel};
+use crate::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use xr_devices::{BasePower, MeanPowerModel, ThermalModel};
+use xr_types::{Joules, Result, Seconds, Segment, Watts};
+
+/// Power drawn by the device's radio chains in each activity state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioPowerModel {
+    /// Power while actively transmitting (uplink frames, cooperation).
+    pub transmit: Watts,
+    /// Power while actively receiving (external sensor information,
+    /// downlink results).
+    pub receive: Watts,
+    /// Power while idling/waiting for a remote response (the XR device's
+    /// draw during the edge server's inference time).
+    pub idle_wait: Watts,
+}
+
+impl RadioPowerModel {
+    /// Wi-Fi figures representative of the 802.11ac phones in Table I.
+    #[must_use]
+    pub fn wifi_defaults() -> Self {
+        Self {
+            transmit: Watts::new(1.25),
+            receive: Watts::new(0.9),
+            idle_wait: Watts::new(0.35),
+        }
+    }
+}
+
+impl Default for RadioPowerModel {
+    fn default() -> Self {
+        Self::wifi_defaults()
+    }
+}
+
+/// Per-frame energy breakdown: one entry per pipeline segment plus base and
+/// thermal energy and the total of Eq. 19.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    segments: BTreeMap<Segment, Joules>,
+    base: Joules,
+    thermal: Joules,
+    total: Joules,
+}
+
+impl EnergyBreakdown {
+    /// Energy attributed to one segment.
+    #[must_use]
+    pub fn segment(&self, segment: Segment) -> Joules {
+        self.segments.get(&segment).copied().unwrap_or(Joules::ZERO)
+    }
+
+    /// Base energy `E_base` over the frame.
+    #[must_use]
+    pub fn base(&self) -> Joules {
+        self.base
+    }
+
+    /// Thermal energy `E_θ` over the frame.
+    #[must_use]
+    pub fn thermal(&self) -> Joules {
+        self.thermal
+    }
+
+    /// Total energy `E_tot` of Eq. 19.
+    #[must_use]
+    pub fn total(&self) -> Joules {
+        self.total
+    }
+
+    /// Iterates over `(segment, energy)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Segment, Joules)> + '_ {
+        self.segments.iter().map(|(s, e)| (*s, *e))
+    }
+}
+
+/// The proposed energy analysis model.
+#[derive(Debug, Clone)]
+pub struct EnergyModel {
+    power: MeanPowerModel,
+    radio: RadioPowerModel,
+    base: BasePower,
+    thermal: ThermalModel,
+}
+
+impl EnergyModel {
+    /// Builds the model with the published Eq.-21 coefficients and default
+    /// radio/base/thermal parameters.
+    #[must_use]
+    pub fn published() -> Self {
+        Self {
+            power: MeanPowerModel::published(),
+            radio: RadioPowerModel::wifi_defaults(),
+            base: BasePower::typical_smartphone(),
+            thermal: ThermalModel::typical(),
+        }
+    }
+
+    /// Replaces the mean-power sub-model (e.g. one refit on simulated data).
+    #[must_use]
+    pub fn with_power_model(mut self, power: MeanPowerModel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Replaces the radio power model.
+    #[must_use]
+    pub fn with_radio_model(mut self, radio: RadioPowerModel) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Replaces the base-power model.
+    #[must_use]
+    pub fn with_base_power(mut self, base: BasePower) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Replaces the thermal model.
+    #[must_use]
+    pub fn with_thermal_model(mut self, thermal: ThermalModel) -> Self {
+        self.thermal = thermal;
+        self
+    }
+
+    /// The compute power the client draws for this scenario (Eq. 21).
+    #[must_use]
+    pub fn compute_power(&self, scenario: &Scenario) -> Watts {
+        self.power.mean_power(
+            scenario.client.cpu_clock,
+            scenario.client.gpu_clock,
+            scenario.client.cpu_share,
+        )
+    }
+
+    /// The power the XR device draws while a given segment runs.
+    #[must_use]
+    pub fn segment_power(&self, scenario: &Scenario, segment: Segment) -> Watts {
+        match segment {
+            // Client-side computation segments follow Eq. 21.
+            Segment::FrameGeneration
+            | Segment::VolumetricDataGeneration
+            | Segment::FrameConversion
+            | Segment::FrameEncoding
+            | Segment::LocalInference
+            | Segment::FrameRendering => self.compute_power(scenario),
+            // Radio-bound segments.
+            Segment::ExternalSensorInformation => self.radio.receive,
+            Segment::Transmission | Segment::XrCooperation => self.radio.transmit,
+            Segment::Handoff => self.radio.transmit,
+            // While the edge server computes, the XR device only waits.
+            Segment::RemoteInference => self.radio.idle_wait,
+        }
+    }
+
+    /// Computes the per-segment energy breakdown of Eq. 19/20 for a frame,
+    /// given the latency breakdown produced by [`LatencyModel::analyze`].
+    #[must_use]
+    pub fn analyze_with_latency(
+        &self,
+        scenario: &Scenario,
+        latency: &LatencyBreakdown,
+    ) -> EnergyBreakdown {
+        let uses_local = scenario.execution.uses_client();
+        let uses_edge = scenario.execution.uses_edge();
+
+        let mut segments = BTreeMap::new();
+        let mut active_compute_energy = Joules::ZERO;
+        let mut total = Joules::ZERO;
+
+        for (segment, segment_latency) in latency.iter() {
+            let power = self.segment_power(scenario, segment);
+            let energy = power * segment_latency.max(Seconds::ZERO);
+            segments.insert(segment, energy);
+
+            let included_in_total = scenario.segments.contains(segment)
+                && match segment {
+                    Segment::FrameConversion | Segment::LocalInference => uses_local,
+                    Segment::FrameEncoding
+                    | Segment::RemoteInference
+                    | Segment::Transmission
+                    | Segment::Handoff => uses_edge,
+                    Segment::XrCooperation => scenario.cooperation.include_in_totals,
+                    _ => true,
+                };
+            if included_in_total {
+                total += energy;
+                if matches!(
+                    segment,
+                    Segment::FrameGeneration
+                        | Segment::VolumetricDataGeneration
+                        | Segment::FrameConversion
+                        | Segment::FrameEncoding
+                        | Segment::LocalInference
+                        | Segment::FrameRendering
+                ) {
+                    active_compute_energy += energy;
+                }
+            }
+        }
+
+        let base = self.base.energy_over(latency.total());
+        let thermal = self.thermal.thermal_energy(active_compute_energy);
+        total += base + thermal;
+
+        EnergyBreakdown {
+            segments,
+            base,
+            thermal,
+            total,
+        }
+    }
+
+    /// Convenience wrapper: run the latency model and then the energy model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates latency-model errors.
+    pub fn analyze(
+        &self,
+        latency_model: &LatencyModel,
+        scenario: &Scenario,
+    ) -> Result<EnergyBreakdown> {
+        let latency = latency_model.analyze(scenario)?;
+        Ok(self.analyze_with_latency(scenario, &latency))
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::published()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xr_types::{ExecutionTarget, GigaHertz};
+
+    fn scenario(execution: ExecutionTarget, clock: f64) -> Scenario {
+        Scenario::builder()
+            .cpu_clock(GigaHertz::new(clock))
+            .execution(execution)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn energy_total_exceeds_sum_of_compute_segments() {
+        let lm = LatencyModel::published();
+        let em = EnergyModel::published();
+        let s = scenario(ExecutionTarget::Local, 2.5);
+        let e = em.analyze(&lm, &s).unwrap();
+        assert!(e.total().as_f64() > 0.0);
+        assert!(e.base().as_f64() > 0.0);
+        assert!(e.thermal().as_f64() > 0.0);
+        assert!(e.total() > e.base() + e.thermal());
+    }
+
+    #[test]
+    fn energy_grows_with_frame_size() {
+        let lm = LatencyModel::published();
+        let em = EnergyModel::published();
+        for target in [ExecutionTarget::Local, ExecutionTarget::Remote] {
+            let small = Scenario::builder()
+                .frame_side(300.0)
+                .execution(target)
+                .build()
+                .unwrap();
+            let large = Scenario::builder()
+                .frame_side(700.0)
+                .execution(target)
+                .build()
+                .unwrap();
+            let e_small = em.analyze(&lm, &small).unwrap().total();
+            let e_large = em.analyze(&lm, &large).unwrap().total();
+            assert!(e_large > e_small);
+        }
+    }
+
+    #[test]
+    fn remote_execution_draws_radio_power_not_compute_power() {
+        let lm = LatencyModel::published();
+        let em = EnergyModel::published();
+        let s = scenario(ExecutionTarget::Remote, 2.5);
+        let latency = lm.analyze(&s).unwrap();
+        let e = em.analyze_with_latency(&s, &latency);
+        // Remote inference energy = idle-wait power × remote latency.
+        let expected = em.radio.idle_wait * latency.segment(Segment::RemoteInference);
+        assert!((e.segment(Segment::RemoteInference).as_f64() - expected.as_f64()).abs() < 1e-12);
+        // Transmission uses transmit power.
+        let expected_tx = em.radio.transmit * latency.segment(Segment::Transmission);
+        assert!((e.segment(Segment::Transmission).as_f64() - expected_tx.as_f64()).abs() < 1e-12);
+        // Local segments carry zero energy under remote execution.
+        assert_eq!(e.segment(Segment::LocalInference), Joules::ZERO);
+    }
+
+    #[test]
+    fn segment_power_mapping() {
+        let em = EnergyModel::published();
+        let s = scenario(ExecutionTarget::Local, 2.8);
+        assert_eq!(
+            em.segment_power(&s, Segment::Transmission),
+            em.radio.transmit
+        );
+        assert_eq!(
+            em.segment_power(&s, Segment::ExternalSensorInformation),
+            em.radio.receive
+        );
+        assert_eq!(
+            em.segment_power(&s, Segment::RemoteInference),
+            em.radio.idle_wait
+        );
+        assert_eq!(
+            em.segment_power(&s, Segment::FrameGeneration),
+            em.compute_power(&s)
+        );
+    }
+
+    #[test]
+    fn base_energy_scales_with_total_latency() {
+        let lm = LatencyModel::published();
+        let em = EnergyModel::published();
+        let small = Scenario::builder().frame_side(300.0).build().unwrap();
+        let large = Scenario::builder().frame_side(700.0).build().unwrap();
+        let e_small = em.analyze(&lm, &small).unwrap();
+        let e_large = em.analyze(&lm, &large).unwrap();
+        assert!(e_large.base() > e_small.base());
+    }
+
+    #[test]
+    fn customised_models_change_the_answer() {
+        let lm = LatencyModel::published();
+        let s = scenario(ExecutionTarget::Local, 2.5);
+        let default_total = EnergyModel::published().analyze(&lm, &s).unwrap().total();
+        let hot = EnergyModel::published()
+            .with_thermal_model(ThermalModel::new(xr_types::Ratio::new(0.5)))
+            .analyze(&lm, &s)
+            .unwrap()
+            .total();
+        assert!(hot > default_total);
+        let heavy_base = EnergyModel::published()
+            .with_base_power(BasePower::new(Watts::new(3.0)))
+            .analyze(&lm, &s)
+            .unwrap()
+            .total();
+        assert!(heavy_base > default_total);
+        let power_hungry_radio = EnergyModel::published()
+            .with_radio_model(RadioPowerModel {
+                transmit: Watts::new(5.0),
+                receive: Watts::new(5.0),
+                idle_wait: Watts::new(5.0),
+            })
+            .analyze(&lm, &scenario(ExecutionTarget::Remote, 2.5))
+            .unwrap()
+            .total();
+        let default_remote = EnergyModel::published()
+            .analyze(&lm, &scenario(ExecutionTarget::Remote, 2.5))
+            .unwrap()
+            .total();
+        assert!(power_hungry_radio > default_remote);
+    }
+
+    #[test]
+    fn energy_iteration_covers_all_segments() {
+        let lm = LatencyModel::published();
+        let em = EnergyModel::published();
+        let s = scenario(ExecutionTarget::Remote, 2.5);
+        let e = em.analyze(&lm, &s).unwrap();
+        assert_eq!(e.iter().count(), Segment::ALL.len());
+    }
+}

@@ -1,0 +1,226 @@
+//! Offload planning on top of the analytical framework.
+//!
+//! The paper positions its framework as a replacement for trial-and-error
+//! measurement when configuring an XR deployment ("enables researchers to
+//! analyze the performance for both local and remote execution … irrespective
+//! of the number or type of sensors or devices"). [`OffloadPlanner`] is the
+//! programmatic version of that promise: sweep candidate execution targets
+//! (local, remote, and a grid of task splits) and pick the one that optimises
+//! a latency/energy objective, optionally under a latency budget.
+
+use crate::report::XrPerformanceModel;
+use crate::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+use xr_types::{ExecutionTarget, Joules, Result, Seconds};
+
+/// What the planner optimises.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimise end-to-end latency (Eq. 1).
+    MinimizeLatency,
+    /// Minimise per-frame device energy (Eq. 19).
+    MinimizeEnergy,
+    /// Minimise energy subject to a latency budget; infeasible candidates are
+    /// discarded.
+    MinimizeEnergyUnderLatencyBudget(
+        /// The latency budget.
+        Seconds,
+    ),
+}
+
+/// One evaluated candidate execution plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OffloadCandidate {
+    /// The execution target evaluated.
+    pub execution: ExecutionTarget,
+    /// Predicted end-to-end latency.
+    pub latency: Seconds,
+    /// Predicted per-frame energy.
+    pub energy: Joules,
+    /// Whether the candidate satisfies the objective's constraint (always
+    /// `true` for unconstrained objectives).
+    pub feasible: bool,
+}
+
+/// The planner's decision: the winning candidate plus every candidate it
+/// considered (for reporting).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OffloadPlan {
+    /// The selected candidate, if any candidate was feasible.
+    pub best: Option<OffloadCandidate>,
+    /// All evaluated candidates, in evaluation order.
+    pub candidates: Vec<OffloadCandidate>,
+}
+
+impl OffloadPlan {
+    /// Convenience accessor: the chosen execution target, if any.
+    #[must_use]
+    pub fn chosen_execution(&self) -> Option<ExecutionTarget> {
+        self.best.as_ref().map(|c| c.execution)
+    }
+}
+
+/// Sweeps execution targets through the analytical framework and picks the
+/// best one for an objective.
+#[derive(Debug, Clone)]
+pub struct OffloadPlanner {
+    model: XrPerformanceModel,
+    split_steps: u32,
+}
+
+impl OffloadPlanner {
+    /// Creates a planner over a performance model. `split_steps` controls how
+    /// many intermediate task-split candidates (between fully local and fully
+    /// remote) are evaluated; 0 restricts the search to {local, remote}.
+    #[must_use]
+    pub fn new(model: XrPerformanceModel, split_steps: u32) -> Self {
+        Self { model, split_steps }
+    }
+
+    /// A planner over the published model with a 25 %-granularity split grid.
+    #[must_use]
+    pub fn published() -> Self {
+        Self::new(XrPerformanceModel::published(), 3)
+    }
+
+    /// The candidate execution targets the planner evaluates for a scenario.
+    /// Remote and split candidates are only generated when the scenario has
+    /// at least one edge server.
+    #[must_use]
+    pub fn candidate_targets(&self, scenario: &Scenario) -> Vec<ExecutionTarget> {
+        let mut targets = vec![ExecutionTarget::Local];
+        if !scenario.edge_servers.is_empty() {
+            targets.push(ExecutionTarget::Remote);
+            for step in 1..=self.split_steps {
+                let share = f64::from(step) / f64::from(self.split_steps + 1);
+                targets.push(ExecutionTarget::Split {
+                    client_share: share,
+                });
+            }
+        }
+        targets
+    }
+
+    /// Evaluates every candidate and returns the plan for the objective.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors from the underlying models.
+    pub fn plan(&self, scenario: &Scenario, objective: Objective) -> Result<OffloadPlan> {
+        let mut candidates = Vec::new();
+        for execution in self.candidate_targets(scenario) {
+            let mut candidate_scenario = scenario.clone();
+            candidate_scenario.execution = execution;
+            let report = self.model.analyze(&candidate_scenario)?;
+            let latency = report.latency.total();
+            let energy = report.energy.total();
+            let feasible = match objective {
+                Objective::MinimizeLatency | Objective::MinimizeEnergy => true,
+                Objective::MinimizeEnergyUnderLatencyBudget(budget) => latency <= budget,
+            };
+            candidates.push(OffloadCandidate {
+                execution,
+                latency,
+                energy,
+                feasible,
+            });
+        }
+
+        let best = candidates
+            .iter()
+            .filter(|c| c.feasible)
+            .min_by(|a, b| {
+                let key = |c: &OffloadCandidate| match objective {
+                    Objective::MinimizeLatency => c.latency.as_f64(),
+                    Objective::MinimizeEnergy
+                    | Objective::MinimizeEnergyUnderLatencyBudget(_) => c.energy.as_f64(),
+                };
+                key(a)
+                    .partial_cmp(&key(b))
+                    .expect("latency/energy are never NaN")
+            })
+            .cloned();
+
+        Ok(OffloadPlan { best, candidates })
+    }
+}
+
+impl Default for OffloadPlanner {
+    fn default() -> Self {
+        Self::published()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xr_types::GigaHertz;
+
+    fn scenario(clock: f64) -> Scenario {
+        Scenario::builder()
+            .cpu_clock(GigaHertz::new(clock))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn planner_evaluates_local_remote_and_splits() {
+        let planner = OffloadPlanner::published();
+        let scenario = scenario(2.0);
+        let targets = planner.candidate_targets(&scenario);
+        assert_eq!(targets.len(), 5);
+        let plan = planner.plan(&scenario, Objective::MinimizeLatency).unwrap();
+        assert_eq!(plan.candidates.len(), 5);
+        assert!(plan.best.is_some());
+        // The chosen candidate has the minimum latency of all candidates.
+        let best = plan.best.as_ref().unwrap();
+        for c in &plan.candidates {
+            assert!(best.latency <= c.latency);
+        }
+    }
+
+    #[test]
+    fn no_edge_servers_restricts_the_search_to_local() {
+        let planner = OffloadPlanner::published();
+        let scenario = Scenario::builder().edge_servers(Vec::new()).build().unwrap();
+        let targets = planner.candidate_targets(&scenario);
+        assert_eq!(targets, vec![ExecutionTarget::Local]);
+        let plan = planner.plan(&scenario, Objective::MinimizeEnergy).unwrap();
+        assert_eq!(plan.chosen_execution(), Some(ExecutionTarget::Local));
+    }
+
+    #[test]
+    fn tight_budget_can_make_every_candidate_infeasible() {
+        let planner = OffloadPlanner::published();
+        let scenario = scenario(2.0);
+        let impossible = Objective::MinimizeEnergyUnderLatencyBudget(Seconds::from_millis(1.0));
+        let plan = planner.plan(&scenario, impossible).unwrap();
+        assert!(plan.best.is_none());
+        assert!(plan.candidates.iter().all(|c| !c.feasible));
+        assert!(plan.chosen_execution().is_none());
+    }
+
+    #[test]
+    fn generous_budget_recovers_the_unconstrained_energy_optimum() {
+        let planner = OffloadPlanner::published();
+        let scenario = scenario(2.0);
+        let unconstrained = planner.plan(&scenario, Objective::MinimizeEnergy).unwrap();
+        let generous = planner
+            .plan(
+                &scenario,
+                Objective::MinimizeEnergyUnderLatencyBudget(Seconds::new(1e3)),
+            )
+            .unwrap();
+        assert_eq!(
+            unconstrained.chosen_execution(),
+            generous.chosen_execution()
+        );
+    }
+
+    #[test]
+    fn zero_split_steps_limits_to_binary_decision() {
+        let planner = OffloadPlanner::new(XrPerformanceModel::published(), 0);
+        let targets = planner.candidate_targets(&scenario(2.0));
+        assert_eq!(targets.len(), 2);
+    }
+}

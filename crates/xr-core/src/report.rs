@@ -1,0 +1,188 @@
+//! The combined performance model and its per-frame report.
+
+use crate::aoi::{AoiModel, AoiReport};
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::latency::{LatencyBreakdown, LatencyModel};
+use crate::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+use xr_types::{MilliJoules, MilliSeconds, Result};
+
+/// The full per-frame analysis: latency, energy, and AoI/RoI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceReport {
+    /// Latency breakdown (Eq. 1).
+    pub latency: LatencyBreakdown,
+    /// Energy breakdown (Eq. 19).
+    pub energy: EnergyBreakdown,
+    /// AoI/RoI report (Eqs. 22–26).
+    pub aoi: AoiReport,
+}
+
+impl PerformanceReport {
+    /// End-to-end latency in the figure's unit (milliseconds).
+    #[must_use]
+    pub fn latency_ms(&self) -> MilliSeconds {
+        self.latency.total().to_millis()
+    }
+
+    /// Total energy in the figure's unit (millijoules).
+    #[must_use]
+    pub fn energy_mj(&self) -> MilliJoules {
+        self.energy.total().to_millijoules()
+    }
+}
+
+/// The proposed XR performance-analysis framework: latency, energy and AoI
+/// models bundled behind a single entry point.
+#[derive(Debug, Clone, Default)]
+pub struct XrPerformanceModel {
+    latency: LatencyModel,
+    energy: EnergyModel,
+    aoi: AoiModel,
+}
+
+impl XrPerformanceModel {
+    /// Builds the framework with every sub-model at its published
+    /// coefficients.
+    #[must_use]
+    pub fn published() -> Self {
+        Self {
+            latency: LatencyModel::published(),
+            energy: EnergyModel::published(),
+            aoi: AoiModel::published(),
+        }
+    }
+
+    /// Builds the framework from explicit sub-models (e.g. after refitting
+    /// the regressions on simulated training data).
+    #[must_use]
+    pub fn new(latency: LatencyModel, energy: EnergyModel, aoi: AoiModel) -> Self {
+        Self {
+            latency,
+            energy,
+            aoi,
+        }
+    }
+
+    /// The latency sub-model.
+    #[must_use]
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// The energy sub-model.
+    #[must_use]
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// The AoI sub-model.
+    #[must_use]
+    pub fn aoi_model(&self) -> &AoiModel {
+        &self.aoi
+    }
+
+    /// Replaces the latency sub-model.
+    #[must_use]
+    pub fn with_latency_model(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Replaces the energy sub-model.
+    #[must_use]
+    pub fn with_energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Replaces the AoI sub-model.
+    #[must_use]
+    pub fn with_aoi_model(mut self, aoi: AoiModel) -> Self {
+        self.aoi = aoi;
+        self
+    }
+
+    /// Analyses one frame of a scenario: latency (Eq. 1), energy (Eq. 19),
+    /// and AoI/RoI (Eqs. 22–26).
+    ///
+    /// # Errors
+    ///
+    /// Returns scenario-validation or queueing errors.
+    pub fn analyze(&self, scenario: &Scenario) -> Result<PerformanceReport> {
+        let latency = self.latency.analyze(scenario)?;
+        let energy = self.energy.analyze_with_latency(scenario, &latency);
+        let aoi = self.aoi.analyze(scenario, latency.total())?;
+        Ok(PerformanceReport {
+            latency,
+            energy,
+            aoi,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xr_types::{ExecutionTarget, Segment};
+
+    #[test]
+    fn full_report_for_local_and_remote() {
+        let model = XrPerformanceModel::published();
+        for target in [ExecutionTarget::Local, ExecutionTarget::Remote] {
+            let scenario = Scenario::builder().execution(target).build().unwrap();
+            let report = model.analyze(&scenario).unwrap();
+            assert!(report.latency_ms().as_f64() > 0.0);
+            assert!(report.energy_mj().as_f64() > 0.0);
+            assert_eq!(report.aoi.sensors.len(), scenario.sensors.len());
+        }
+    }
+
+    #[test]
+    fn report_units_are_consistent() {
+        let model = XrPerformanceModel::published();
+        let scenario = Scenario::builder().build().unwrap();
+        let report = model.analyze(&scenario).unwrap();
+        assert!(
+            (report.latency_ms().as_f64() - report.latency.total().as_f64() * 1e3).abs() < 1e-9
+        );
+        assert!((report.energy_mj().as_f64() - report.energy.total().as_f64() * 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_model_accessors_and_replacement() {
+        let model = XrPerformanceModel::published();
+        let scenario = Scenario::builder()
+            .execution(ExecutionTarget::Remote)
+            .build()
+            .unwrap();
+        let baseline = model.analyze(&scenario).unwrap();
+        // Replace the latency model with an ablated variant; remote totals
+        // must drop because the memory terms disappear.
+        let ablated = XrPerformanceModel::published()
+            .with_latency_model(LatencyModel::published().without_memory_terms());
+        let report = ablated.analyze(&scenario).unwrap();
+        assert!(report.latency.total() < baseline.latency.total());
+        assert!(model.latency_model().analyze(&scenario).is_ok());
+        let _ = model.energy_model();
+        let _ = model.aoi_model();
+    }
+
+    #[test]
+    fn default_equals_published_behaviour() {
+        let scenario = Scenario::builder().build().unwrap();
+        let a = XrPerformanceModel::default().analyze(&scenario).unwrap();
+        let b = XrPerformanceModel::published().analyze(&scenario).unwrap();
+        assert_eq!(a.latency.total(), b.latency.total());
+        assert_eq!(a.energy.total(), b.energy.total());
+    }
+
+    #[test]
+    fn rendering_is_always_part_of_the_breakdown() {
+        let model = XrPerformanceModel::published();
+        let scenario = Scenario::builder().build().unwrap();
+        let report = model.analyze(&scenario).unwrap();
+        assert!(report.latency.segment(Segment::FrameRendering).as_f64() > 0.0);
+        assert!(report.energy.segment(Segment::FrameRendering).as_f64() > 0.0);
+    }
+}

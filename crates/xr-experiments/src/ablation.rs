@@ -1,0 +1,134 @@
+//! Ablation study over the design choices DESIGN.md §5 calls out: drop one
+//! modelling ingredient of the proposed latency model at a time and measure
+//! how much accuracy it costs against the ground truth, over the same remote
+//! sweep as Fig. 4(b).
+
+use crate::context::ExperimentContext;
+use serde::{Deserialize, Serialize};
+use xr_core::LatencyModel;
+use xr_stats::metrics;
+use xr_types::{ExecutionTarget, Result};
+
+/// One ablated model variant and its accuracy against ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Mean error against ground truth (%), over the remote latency sweep.
+    pub mean_error_percent: f64,
+    /// Normalized accuracy (%), the Fig. 5 measure.
+    pub normalized_accuracy: f64,
+}
+
+/// The ablation-study results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationStudy {
+    /// One row per model variant, full model first.
+    pub rows: Vec<AblationRow>,
+}
+
+impl AblationStudy {
+    /// Runs the study: the full calibrated model plus each single-ingredient
+    /// ablation, evaluated on the remote latency sweep at 2 GHz.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario and model errors.
+    pub fn run(ctx: &ExperimentContext) -> Result<Self> {
+        // Ground truth over the frame-size sweep at 2 GHz, remote inference.
+        let mut ground_truth = Vec::new();
+        let mut scenarios = Vec::new();
+        for &size in &ExperimentContext::FRAME_SIZES {
+            let scenario = ctx.scenario(size, 2.0, ExecutionTarget::Remote)?;
+            let session = ctx
+                .testbed()
+                .simulate_session(&scenario, ctx.frames_per_point())?;
+            ground_truth.push(session.mean_latency().as_f64() * 1e3);
+            scenarios.push(scenario);
+        }
+
+        // The calibrated latency model is the reference; each ablation strips
+        // one ingredient from it.
+        let calibrated = ctx.calibrated();
+        let base = || {
+            LatencyModel::published()
+                .with_compute_model(calibrated.compute.clone())
+                .with_cnn_complexity(calibrated.complexity.clone())
+                .with_encoding_model(calibrated.encoding.clone())
+        };
+        let variants: Vec<(String, LatencyModel)> = vec![
+            ("full model".into(), base()),
+            ("without memory-bandwidth terms".into(), base().without_memory_terms()),
+            ("without M/M/1 buffering".into(), base().without_buffering()),
+            (
+                "published coefficients (no re-calibration)".into(),
+                LatencyModel::published(),
+            ),
+        ];
+
+        let mut rows = Vec::new();
+        for (variant, model) in variants {
+            let predictions: Vec<f64> = scenarios
+                .iter()
+                .map(|s| model.analyze(s).map(|b| b.total().as_f64() * 1e3))
+                .collect::<Result<Vec<_>>>()?;
+            rows.push(AblationRow {
+                variant,
+                mean_error_percent: metrics::mean_error_percent(&ground_truth, &predictions),
+                normalized_accuracy: metrics::normalized_accuracy(&ground_truth, &predictions),
+            });
+        }
+        Ok(Self { rows })
+    }
+
+    /// The full (un-ablated) model's row.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the study always evaluates the full model first.
+    #[must_use]
+    pub fn full_model(&self) -> &AblationRow {
+        &self.rows[0]
+    }
+
+    /// Console/CSV rows.
+    #[must_use]
+    pub fn table_rows(&self) -> Vec<Vec<String>> {
+        self.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.variant.clone(),
+                    format!("{:.2}", r.mean_error_percent),
+                    format!("{:.2}", r.normalized_accuracy),
+                ]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_ablation_is_no_better_than_the_full_model() {
+        let ctx = ExperimentContext::quick(61).unwrap();
+        let study = AblationStudy::run(&ctx).unwrap();
+        assert_eq!(study.rows.len(), 4);
+        let full = study.full_model().mean_error_percent;
+        for row in &study.rows[1..] {
+            assert!(
+                row.mean_error_percent >= full - 0.5,
+                "{} should not beat the full model ({} vs {})",
+                row.variant,
+                row.mean_error_percent,
+                full
+            );
+        }
+        // Structural ablations hurt visibly.
+        let no_memory = &study.rows[1];
+        assert!(no_memory.mean_error_percent > full);
+        assert_eq!(study.table_rows().len(), 4);
+    }
+}

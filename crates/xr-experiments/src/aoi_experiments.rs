@@ -1,0 +1,202 @@
+//! The Fig. 4(e)/(f) Age-of-Information experiments.
+//!
+//! Fig. 4(e): three sensors generating information every 5, 10 and 15 ms
+//! (200, 100 and 66.67 Hz) feed an XR application that requires one update
+//! every 5 ms; AoI is plotted over time for ground truth and for the
+//! analytical model. Fig. 4(f): the 100 Hz sensor's AoI staircase and the
+//! corresponding RoI at each update.
+
+use crate::context::ExperimentContext;
+use serde::{Deserialize, Serialize};
+use xr_core::{AoiModel, SensorConfig};
+use xr_stats::metrics;
+use xr_testbed::AoiGroundTruth;
+use xr_types::{Hertz, Meters, Result, Seconds};
+
+/// The request period of the Fig. 4(e)/(f) scenario: one update every 5 ms.
+pub const REQUEST_PERIOD_MS: f64 = 5.0;
+/// Number of update cycles observed (x-axis of Fig. 4(e): 15–90 ms).
+pub const UPDATES: u32 = 18;
+/// Input-buffer service rate used in the AoI experiments (items/s).
+pub const SERVICE_RATE: f64 = 2_000.0;
+
+/// One point of an AoI time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AoiPoint {
+    /// Time of the update request (ms).
+    pub time_ms: f64,
+    /// Ground-truth AoI (ms).
+    pub ground_truth_ms: f64,
+    /// Model-predicted AoI (ms).
+    pub proposed_ms: f64,
+}
+
+/// One point of the Fig. 4(f) RoI staircase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoiPoint {
+    /// Time of the update request (ms).
+    pub time_ms: f64,
+    /// Model-predicted AoI at this update (ms).
+    pub aoi_ms: f64,
+    /// RoI accumulated up to this update.
+    pub roi: f64,
+}
+
+/// The Fig. 4(e) sweep: one AoI series per sensor frequency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AoiSweep {
+    /// Sensor generation frequencies (Hz), one per series.
+    pub frequencies: Vec<f64>,
+    /// Per-frequency AoI series.
+    pub series: Vec<Vec<AoiPoint>>,
+}
+
+impl AoiSweep {
+    /// Mean absolute error of the model against the ground truth over every
+    /// series, in ms.
+    #[must_use]
+    pub fn mean_absolute_error_ms(&self) -> f64 {
+        let truth: Vec<f64> = self
+            .series
+            .iter()
+            .flatten()
+            .map(|p| p.ground_truth_ms)
+            .collect();
+        let predicted: Vec<f64> = self.series.iter().flatten().map(|p| p.proposed_ms).collect();
+        metrics::mean_absolute_error(&truth, &predicted)
+    }
+
+    /// CSV/console rows: `frequency, time, gt, proposed`.
+    #[must_use]
+    pub fn rows(&self) -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        for (freq, series) in self.frequencies.iter().zip(&self.series) {
+            for p in series {
+                rows.push(vec![
+                    format!("{freq:.2}"),
+                    format!("{:.1}", p.time_ms),
+                    format!("{:.2}", p.ground_truth_ms),
+                    format!("{:.2}", p.proposed_ms),
+                ]);
+            }
+        }
+        rows
+    }
+}
+
+fn sensor(freq_hz: f64) -> SensorConfig {
+    SensorConfig::new(
+        format!("sensor-{freq_hz:.0}hz"),
+        Hertz::new(freq_hz),
+        Meters::new(30.0),
+    )
+}
+
+/// Runs the Fig. 4(e) experiment: AoI over time for sensors at 200, 100 and
+/// 66.67 Hz against a 5 ms update requirement.
+///
+/// # Errors
+///
+/// Propagates queueing errors.
+pub fn aoi_over_time(ctx: &ExperimentContext) -> Result<AoiSweep> {
+    let model = AoiModel::published();
+    let request_period = Seconds::from_millis(REQUEST_PERIOD_MS);
+    let frequencies = vec![200.0, 100.0, 66.67];
+    let mut series = Vec::new();
+    for (i, freq) in frequencies.iter().enumerate() {
+        let cfg = sensor(*freq);
+        let analytic = model.sensor_series(&cfg, SERVICE_RATE, request_period, UPDATES)?;
+        let measured = AoiGroundTruth::simulate(
+            &cfg,
+            SERVICE_RATE,
+            request_period,
+            UPDATES,
+            0.02,
+            ctx.seed() ^ (i as u64 + 1),
+        )?;
+        let points = analytic
+            .iter()
+            .zip(&measured.aoi)
+            .enumerate()
+            .map(|(n, (a, gt))| AoiPoint {
+                time_ms: REQUEST_PERIOD_MS * (n as f64 + 1.0),
+                ground_truth_ms: gt.as_f64() * 1e3,
+                proposed_ms: a.as_f64() * 1e3,
+            })
+            .collect();
+        series.push(points);
+    }
+    Ok(AoiSweep {
+        frequencies,
+        series,
+    })
+}
+
+/// Runs the Fig. 4(f) experiment: the AoI staircase and RoI of the 100 Hz
+/// sensor under a 5 ms update requirement.
+///
+/// # Errors
+///
+/// Propagates queueing errors.
+pub fn roi_staircase(_ctx: &ExperimentContext) -> Result<Vec<RoiPoint>> {
+    let model = AoiModel::published();
+    let request_period = Seconds::from_millis(REQUEST_PERIOD_MS);
+    let cfg = sensor(100.0);
+    let series = model.sensor_series(&cfg, SERVICE_RATE, request_period, 8)?;
+    let mut points = Vec::new();
+    for (i, aoi) in series.iter().enumerate() {
+        let n = i as f64 + 1.0;
+        // RoI up to this update: processed frequency (1 / mean AoI so far)
+        // over the required frequency (1 / request period), Eqs. 25–26.
+        let mean_so_far: f64 =
+            series[..=i].iter().map(|a| a.as_f64()).sum::<f64>() / n;
+        let processed = 1.0 / mean_so_far.max(f64::MIN_POSITIVE);
+        let required = 1.0 / request_period.as_f64();
+        points.push(RoiPoint {
+            time_ms: REQUEST_PERIOD_MS * n,
+            aoi_ms: aoi.as_f64() * 1e3,
+            roi: processed / required,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aoi_grows_when_sensors_lag_the_request_rate() {
+        let ctx = ExperimentContext::quick(31).unwrap();
+        let sweep = aoi_over_time(&ctx).unwrap();
+        assert_eq!(sweep.frequencies, vec![200.0, 100.0, 66.67]);
+        assert_eq!(sweep.series.len(), 3);
+        for series in &sweep.series {
+            assert_eq!(series.len(), UPDATES as usize);
+        }
+        // 200 Hz stays flat and small; 66.67 Hz grows the fastest.
+        let last = |i: usize| sweep.series[i].last().unwrap().proposed_ms;
+        assert!(last(0) < last(1));
+        assert!(last(1) < last(2));
+        // Model tracks the simulated ground truth within a few ms on average.
+        assert!(sweep.mean_absolute_error_ms() < 5.0, "{}", sweep.mean_absolute_error_ms());
+        assert!(!sweep.rows().is_empty());
+    }
+
+    #[test]
+    fn roi_staircase_decreases_as_information_goes_stale() {
+        let ctx = ExperimentContext::quick(32).unwrap();
+        let staircase = roi_staircase(&ctx).unwrap();
+        assert_eq!(staircase.len(), 8);
+        // AoI increases step by step (the 100 Hz sensor lags a 5 ms cadence)…
+        assert!(staircase.last().unwrap().aoi_ms > staircase.first().unwrap().aoi_ms);
+        // …and the RoI keeps dropping below 1.
+        assert!(staircase.last().unwrap().roi < staircase.first().unwrap().roi);
+        assert!(staircase.last().unwrap().roi < 1.0);
+        // The Fig. 4(f) annotations: AoI ≈ 10/15/20 ms at successive marks.
+        let steps: Vec<f64> = staircase.windows(2).map(|w| w[1].aoi_ms - w[0].aoi_ms).collect();
+        for step in steps {
+            assert!((step - 5.0).abs() < 1.0, "step {step}");
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! §VIII-A/B mean-error summary: proposed model vs ground truth.
+
+use xr_experiments::{output, ErrorSummary, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let summary = ErrorSummary::compute(&ctx).expect("error summary failed");
+    output::print_experiment(
+        "Mean error of the proposed model vs ground truth (%)",
+        &["experiment", "measured_%", "paper_%"],
+        &summary.rows(),
+        "error_summary.csv",
+    );
+    println!("worst case: {:.2}%", summary.worst_percent());
+}

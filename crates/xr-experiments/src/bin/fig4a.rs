@@ -1,0 +1,17 @@
+//! Fig. 4(a): end-to-end latency for local inference, GT vs proposed model.
+
+use xr_experiments::figures::latency_sweep;
+use xr_experiments::{output, ExperimentContext};
+use xr_types::ExecutionTarget;
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let sweep = latency_sweep(&ctx, ExecutionTarget::Local).expect("sweep failed");
+    output::print_experiment(
+        "Fig. 4(a) — end-to-end latency, local inference (ms)",
+        &["frame_size", "cpu_ghz", "gt_ms", "proposed_ms", "error_%"],
+        &sweep.rows(),
+        "fig4a.csv",
+    );
+    println!("mean error: {:.2}% (paper: 2.74%)", sweep.mean_error_percent());
+}

@@ -1,0 +1,17 @@
+//! Fig. 4(c): end-to-end energy for local inference, GT vs proposed model.
+
+use xr_experiments::figures::energy_sweep;
+use xr_experiments::{output, ExperimentContext};
+use xr_types::ExecutionTarget;
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let sweep = energy_sweep(&ctx, ExecutionTarget::Local).expect("sweep failed");
+    output::print_experiment(
+        "Fig. 4(c) — end-to-end energy, local inference (mJ)",
+        &["frame_size", "cpu_ghz", "gt_mj", "proposed_mj", "error_%"],
+        &sweep.rows(),
+        "fig4c.csv",
+    );
+    println!("mean error: {:.2}% (paper: 3.52%)", sweep.mean_error_percent());
+}

@@ -1,0 +1,17 @@
+//! Fig. 4(d): end-to-end energy for remote inference, GT vs proposed model.
+
+use xr_experiments::figures::energy_sweep;
+use xr_experiments::{output, ExperimentContext};
+use xr_types::ExecutionTarget;
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let sweep = energy_sweep(&ctx, ExecutionTarget::Remote).expect("sweep failed");
+    output::print_experiment(
+        "Fig. 4(d) — end-to-end energy, remote inference (mJ)",
+        &["frame_size", "cpu_ghz", "gt_mj", "proposed_mj", "error_%"],
+        &sweep.rows(),
+        "fig4d.csv",
+    );
+    println!("mean error: {:.2}% (paper: 5.38%)", sweep.mean_error_percent());
+}

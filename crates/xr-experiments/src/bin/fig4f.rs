@@ -1,0 +1,26 @@
+//! Fig. 4(f): AoI staircase and RoI of a 100 Hz sensor under a 5 ms update
+//! requirement.
+
+use xr_experiments::aoi_experiments::roi_staircase;
+use xr_experiments::{output, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let staircase = roi_staircase(&ctx).expect("RoI experiment failed");
+    let rows: Vec<Vec<String>> = staircase
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.time_ms),
+                format!("{:.2}", p.aoi_ms),
+                format!("{:.3}", p.roi),
+            ]
+        })
+        .collect();
+    output::print_experiment(
+        "Fig. 4(f) — AoI and RoI for a 100 Hz sensor, 5 ms update requirement",
+        &["time_ms", "aoi_ms", "roi"],
+        &rows,
+        "fig4f.csv",
+    );
+}

@@ -1,0 +1,24 @@
+//! Fig. 5(a): normalized latency accuracy of Proposed vs FACT vs LEAF.
+
+use xr_experiments::comparison::{comparison_sweep, Metric};
+use xr_experiments::{output, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let sweep = comparison_sweep(&ctx, Metric::Latency).expect("comparison failed");
+    output::print_experiment(
+        "Fig. 5(a) — normalized accuracy of end-to-end latency, remote inference (%)",
+        &["frame_size", "GT", "Proposed", "FACT", "LEAF"],
+        &sweep.rows(),
+        "fig5a.csv",
+    );
+    let (vs_fact, vs_leaf) = sweep.improvement_over_baselines();
+    println!(
+        "accuracy: proposed {:.2}%, FACT {:.2}%, LEAF {:.2}% — improvement {:.2} pp over FACT (paper: 17.59), {:.2} pp over LEAF (paper: 7.49)",
+        sweep.proposed_accuracy(),
+        sweep.fact_accuracy(),
+        sweep.leaf_accuracy(),
+        vs_fact,
+        vs_leaf
+    );
+}

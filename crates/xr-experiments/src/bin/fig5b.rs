@@ -1,0 +1,24 @@
+//! Fig. 5(b): normalized energy accuracy of Proposed vs FACT vs LEAF.
+
+use xr_experiments::comparison::{comparison_sweep, Metric};
+use xr_experiments::{output, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let sweep = comparison_sweep(&ctx, Metric::Energy).expect("comparison failed");
+    output::print_experiment(
+        "Fig. 5(b) — normalized accuracy of end-to-end energy, remote inference (%)",
+        &["frame_size", "GT", "Proposed", "FACT", "LEAF"],
+        &sweep.rows(),
+        "fig5b.csv",
+    );
+    let (vs_fact, vs_leaf) = sweep.improvement_over_baselines();
+    println!(
+        "accuracy: proposed {:.2}%, FACT {:.2}%, LEAF {:.2}% — improvement {:.2} pp over FACT (paper: 15.30), {:.2} pp over LEAF (paper: 8.71)",
+        sweep.proposed_accuracy(),
+        sweep.fact_accuracy(),
+        sweep.leaf_accuracy(),
+        vs_fact,
+        vs_leaf
+    );
+}

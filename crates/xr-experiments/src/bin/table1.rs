@@ -1,0 +1,13 @@
+//! Regenerates Table I (device specifications).
+
+use xr_experiments::output;
+use xr_experiments::tables;
+
+fn main() {
+    output::print_experiment(
+        "Table I — XR and edge devices used in the experiments",
+        &tables::table1_header(),
+        &tables::table1_rows(),
+        "table1.csv",
+    );
+}

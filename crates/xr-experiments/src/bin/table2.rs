@@ -1,0 +1,13 @@
+//! Regenerates Table II (CNN models).
+
+use xr_experiments::output;
+use xr_experiments::tables;
+
+fn main() {
+    output::print_experiment(
+        "Table II — CNNs used in this research",
+        &tables::table2_header(),
+        &tables::table2_rows(),
+        "table2.csv",
+    );
+}

@@ -1,0 +1,165 @@
+//! Shared experiment context: the simulated testbed, the measurement
+//! campaign, and the calibrated analytical framework.
+
+use xr_core::{Scenario, XrPerformanceModel};
+use xr_devices::DeviceCatalog;
+use xr_testbed::{CalibratedModels, MeasurementCampaign, TestbedSimulator};
+use xr_types::{ExecutionTarget, GigaHertz, Result};
+
+/// Everything an experiment needs: the ground-truth simulator, the calibrated
+/// proposed model, and the sweep bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    testbed: TestbedSimulator,
+    calibrated: CalibratedModels,
+    proposed: XrPerformanceModel,
+    frames_per_point: u64,
+    seed: u64,
+}
+
+impl ExperimentContext {
+    /// The frame sizes swept in Figs. 4–5 (the paper's x-axis).
+    pub const FRAME_SIZES: [f64; 5] = [300.0, 400.0, 500.0, 600.0, 700.0];
+    /// The CPU clocks swept in Fig. 4 (GHz).
+    pub const CPU_CLOCKS: [f64; 3] = [1.0, 2.0, 3.0];
+
+    /// A fast context suitable for tests and benches: a small measurement
+    /// campaign and 20 ground-truth frames per operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates regression-fitting errors.
+    pub fn quick(seed: u64) -> Result<Self> {
+        Self::with_campaign(seed, MeasurementCampaign::small(seed), 20)
+    }
+
+    /// The paper-scale context: 119 465 training records and 100 frames of
+    /// ground truth per operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates regression-fitting errors.
+    pub fn paper_scale(seed: u64) -> Result<Self> {
+        Self::with_campaign(seed, MeasurementCampaign::paper_scale(seed), 100)
+    }
+
+    /// Builds the context the experiment binaries use: quick by default,
+    /// paper scale when the process was invoked with `--paper-scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message if the regression calibration fails,
+    /// which only happens when the measurement campaign is empty.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let paper_scale = std::env::args().any(|a| a == "--paper-scale");
+        let seed = 2024;
+        let ctx = if paper_scale {
+            Self::paper_scale(seed)
+        } else {
+            Self::quick(seed)
+        };
+        ctx.expect("failed to calibrate the analytical framework")
+    }
+
+    /// Builds a context from an explicit measurement campaign.
+    ///
+    /// # Errors
+    ///
+    /// Propagates regression-fitting errors.
+    pub fn with_campaign(
+        seed: u64,
+        campaign: MeasurementCampaign,
+        frames_per_point: u64,
+    ) -> Result<Self> {
+        let testbed = TestbedSimulator::new(seed);
+        let train = campaign.collect(testbed.laws(), &DeviceCatalog::training_devices());
+        let calibrated = CalibratedModels::fit(&train)?;
+        let proposed = calibrated.performance_model();
+        Ok(Self {
+            testbed,
+            calibrated,
+            proposed,
+            frames_per_point: frames_per_point.max(1),
+            seed,
+        })
+    }
+
+    /// The ground-truth simulator.
+    #[must_use]
+    pub fn testbed(&self) -> &TestbedSimulator {
+        &self.testbed
+    }
+
+    /// The calibrated sub-models (for the regression report).
+    #[must_use]
+    pub fn calibrated(&self) -> &CalibratedModels {
+        &self.calibrated
+    }
+
+    /// The calibrated proposed framework.
+    #[must_use]
+    pub fn proposed(&self) -> &XrPerformanceModel {
+        &self.proposed
+    }
+
+    /// Number of ground-truth frames simulated per operating point.
+    #[must_use]
+    pub fn frames_per_point(&self) -> u64 {
+        self.frames_per_point
+    }
+
+    /// The context's base seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Builds the evaluation scenario at one operating point of the Fig. 4/5
+    /// sweep: the held-out XR2 client, a given frame size and CPU clock, and
+    /// the given execution target.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario-validation errors.
+    pub fn scenario(
+        &self,
+        frame_size: f64,
+        cpu_clock_ghz: f64,
+        execution: ExecutionTarget,
+    ) -> Result<Scenario> {
+        Scenario::builder()
+            .client_from_catalog("XR2")?
+            .frame_side(frame_size)
+            .cpu_clock(GigaHertz::new(cpu_clock_ghz))
+            .execution(execution)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_context_builds_and_analyses() {
+        let ctx = ExperimentContext::quick(7).unwrap();
+        let scenario = ctx.scenario(500.0, 2.0, ExecutionTarget::Remote).unwrap();
+        let report = ctx.proposed().analyze(&scenario).unwrap();
+        assert!(report.latency.total().as_f64() > 0.0);
+        let gt = ctx
+            .testbed()
+            .simulate_session(&scenario, ctx.frames_per_point())
+            .unwrap();
+        assert!(gt.mean_latency().as_f64() > 0.0);
+        assert_eq!(ctx.seed(), 7);
+        assert_eq!(ctx.frames_per_point(), 20);
+        assert!(ctx.calibrated().training_r_squared().resource_r_squared > 0.5);
+    }
+
+    #[test]
+    fn sweep_constants_match_the_paper() {
+        assert_eq!(ExperimentContext::FRAME_SIZES.len(), 5);
+        assert_eq!(ExperimentContext::CPU_CLOCKS, [1.0, 2.0, 3.0]);
+    }
+}

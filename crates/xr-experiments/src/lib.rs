@@ -1,0 +1,40 @@
+//! # xr-experiments
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper's evaluation (Section VIII) against the simulated testbed:
+//!
+//! | Artifact | Module | Binary |
+//! |---|---|---|
+//! | Table I (devices) | [`tables`] | `table1` |
+//! | Table II (CNNs) | [`tables`] | `table2` |
+//! | Fig. 4(a)/(b) end-to-end latency, local/remote | [`figures`] | `fig4a`, `fig4b` |
+//! | Fig. 4(c)/(d) end-to-end energy, local/remote | [`figures`] | `fig4c`, `fig4d` |
+//! | Fig. 4(e)/(f) AoI and RoI | [`aoi_experiments`] | `fig4e`, `fig4f` |
+//! | Fig. 5(a)/(b) comparison with FACT and LEAF | [`comparison`] | `fig5a`, `fig5b` |
+//! | §VIII-A/B mean-error summary | [`errors`] | `error_summary` |
+//! | Eqs. 3/10/12/21 regression fits | [`regression_report`] | `regression_report` |
+//!
+//! Each binary prints the rows/series the paper reports and writes a CSV
+//! artifact under `target/experiments/`. `run_all` chains everything and is
+//! the source of the numbers recorded in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+pub mod aoi_experiments;
+pub mod comparison;
+pub mod context;
+pub mod errors;
+pub mod figures;
+pub mod output;
+pub mod regression_report;
+pub mod tables;
+
+pub use ablation::{AblationRow, AblationStudy};
+pub use aoi_experiments::{AoiPoint, AoiSweep, RoiPoint};
+pub use comparison::{ComparisonPoint, ComparisonSweep, Metric};
+pub use context::ExperimentContext;
+pub use errors::ErrorSummary;
+pub use figures::{SweepPoint, SweepResult};
+pub use regression_report::RegressionReport;

@@ -1,0 +1,119 @@
+//! Console-table and CSV output helpers shared by the experiment binaries.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Directory under which experiment artifacts (CSV files) are written.
+#[must_use]
+pub fn artifact_dir() -> PathBuf {
+    PathBuf::from("target").join("experiments")
+}
+
+/// Writes a CSV artifact (header + rows) under [`artifact_dir`], creating the
+/// directory if needed. Returns the path written, or `None` if the filesystem
+/// refused (experiments still print to stdout in that case).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> Option<PathBuf> {
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(name);
+    let mut file = fs::File::create(&path).ok()?;
+    writeln!(file, "{}", header.join(",")).ok()?;
+    for row in rows {
+        writeln!(file, "{}", row.join(",")).ok()?;
+    }
+    Some(path)
+}
+
+/// Renders a fixed-width console table.
+#[must_use]
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| (*h).to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with three decimals for table cells.
+#[must_use]
+pub fn fmt(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Prints a section banner plus a table, and optionally records the CSV
+/// artifact path.
+pub fn print_experiment(title: &str, header: &[&str], rows: &[Vec<String>], csv_name: &str) {
+    println!("== {title} ==");
+    print!("{}", render_table(header, rows));
+    if let Some(path) = write_csv(csv_name, header, rows) {
+        println!("(csv written to {})", display_path(&path));
+    }
+    println!();
+}
+
+fn display_path(path: &Path) -> String {
+    path.display().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let table = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer-name".into(), "2.5".into()],
+            ],
+        );
+        assert!(table.contains("longer-name"));
+        assert!(table.lines().count() >= 4);
+        let header_line = table.lines().next().unwrap();
+        assert!(header_line.starts_with("name"));
+    }
+
+    #[test]
+    fn csv_round_trips_to_disk() {
+        let path = write_csv(
+            "unit-test.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        )
+        .expect("csv written");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a,b"));
+        assert!(content.contains("1,2"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fmt_uses_three_decimals() {
+        assert_eq!(fmt(1.23456), "1.235");
+        assert_eq!(fmt(2.0), "2.000");
+    }
+}

@@ -1,0 +1,259 @@
+//! Feature transforms for the regression sub-models.
+//!
+//! The compute-resource model (Eq. 3) and the mean-power model (Eq. 21) are
+//! quadratic in the CPU/GPU clock frequencies, so their design matrices need
+//! degree-2 polynomial expansions of the raw covariates. [`PolynomialFeatures`]
+//! provides the expansion, optionally including interaction terms, together
+//! with human-readable feature names for reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// Expands raw feature vectors into polynomial feature vectors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolynomialFeatures {
+    degree: u32,
+    interactions: bool,
+}
+
+impl PolynomialFeatures {
+    /// Creates an expansion of the given degree without interaction terms —
+    /// each input feature `x` contributes `x, x², …, x^degree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    #[must_use]
+    pub fn new(degree: u32) -> Self {
+        assert!(degree >= 1, "degree must be at least 1");
+        Self {
+            degree,
+            interactions: false,
+        }
+    }
+
+    /// Enables pairwise interaction terms `x_i · x_j` (i < j). Only supported
+    /// for degree-2 expansions, which is all the paper's models need.
+    #[must_use]
+    pub fn with_interactions(mut self) -> Self {
+        self.interactions = true;
+        self
+    }
+
+    /// The polynomial degree.
+    #[must_use]
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Transforms one raw feature row.
+    #[must_use]
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(row.len() * self.degree as usize);
+        for &x in row {
+            let mut power = x;
+            out.push(power);
+            for _ in 1..self.degree {
+                power *= x;
+                out.push(power);
+            }
+        }
+        if self.interactions {
+            for i in 0..row.len() {
+                for j in (i + 1)..row.len() {
+                    out.push(row[i] * row[j]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Transforms a whole dataset.
+    #[must_use]
+    pub fn transform(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform_row(r)).collect()
+    }
+
+    /// Names of the expanded features, given names for the raw features.
+    /// Useful when printing fitted coefficients in the regression report.
+    #[must_use]
+    pub fn feature_names(&self, raw_names: &[&str]) -> Vec<String> {
+        let mut names = Vec::new();
+        for name in raw_names {
+            names.push((*name).to_string());
+            for d in 2..=self.degree {
+                names.push(format!("{name}^{d}"));
+            }
+        }
+        if self.interactions {
+            for i in 0..raw_names.len() {
+                for j in (i + 1)..raw_names.len() {
+                    names.push(format!("{}*{}", raw_names[i], raw_names[j]));
+                }
+            }
+        }
+        names
+    }
+
+    /// Number of output features for a given number of raw features.
+    #[must_use]
+    pub fn output_len(&self, raw_len: usize) -> usize {
+        let base = raw_len * self.degree as usize;
+        if self.interactions {
+            base + raw_len * raw_len.saturating_sub(1) / 2
+        } else {
+            base
+        }
+    }
+}
+
+/// Standardises columns to zero mean and unit variance, remembering the
+/// transform so that test data can be scaled consistently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    std_devs: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler to a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    #[must_use]
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler to an empty dataset");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged dataset");
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; cols];
+        for row in rows {
+            for (m, x) in means.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; cols];
+        for row in rows {
+            for ((v, x), m) in vars.iter_mut().zip(row).zip(&means) {
+                *v += (x - m).powi(2);
+            }
+        }
+        let std_devs = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Self { means, std_devs }
+    }
+
+    /// Scales one row with the fitted means and standard deviations.
+    #[must_use]
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.means)
+            .zip(&self.std_devs)
+            .map(|((x, m), s)| (x - m) / s)
+            .collect()
+    }
+
+    /// Scales a dataset.
+    #[must_use]
+    pub fn transform(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform_row(r)).collect()
+    }
+
+    /// Column means captured by the fit.
+    #[must_use]
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Column standard deviations captured by the fit (zero-variance columns
+    /// are reported as 1.0 so that the transform is a no-op for them).
+    #[must_use]
+    pub fn std_devs(&self) -> &[f64] {
+        &self.std_devs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_two_expansion_matches_eq3_structure() {
+        // Eq. 3 uses (f_c, f_c²) and (f_g, f_g²).
+        let poly = PolynomialFeatures::new(2);
+        let row = poly.transform_row(&[2.0, 3.0]);
+        assert_eq!(row, vec![2.0, 4.0, 3.0, 9.0]);
+        assert_eq!(poly.output_len(2), 4);
+    }
+
+    #[test]
+    fn interactions_appended_after_powers() {
+        let poly = PolynomialFeatures::new(2).with_interactions();
+        let row = poly.transform_row(&[2.0, 3.0]);
+        assert_eq!(row, vec![2.0, 4.0, 3.0, 9.0, 6.0]);
+        assert_eq!(poly.output_len(2), 5);
+    }
+
+    #[test]
+    fn degree_one_is_identity() {
+        let poly = PolynomialFeatures::new(1);
+        assert_eq!(poly.transform_row(&[5.0, -1.0]), vec![5.0, -1.0]);
+        assert_eq!(poly.degree(), 1);
+    }
+
+    #[test]
+    fn feature_names_track_structure() {
+        let poly = PolynomialFeatures::new(2).with_interactions();
+        let names = poly.feature_names(&["f_c", "f_g"]);
+        assert_eq!(names, vec!["f_c", "f_c^2", "f_g", "f_g^2", "f_c*f_g"]);
+    }
+
+    #[test]
+    fn transform_handles_whole_dataset() {
+        let poly = PolynomialFeatures::new(3);
+        let out = poly.transform(&[vec![2.0], vec![3.0]]);
+        assert_eq!(out, vec![vec![2.0, 4.0, 8.0], vec![3.0, 9.0, 27.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be at least 1")]
+    fn zero_degree_rejected() {
+        let _ = PolynomialFeatures::new(0);
+    }
+
+    #[test]
+    fn scaler_produces_zero_mean_unit_variance() {
+        let rows = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let scaler = StandardScaler::fit(&rows);
+        let scaled = scaler.transform(&rows);
+        for col in 0..2 {
+            let mean: f64 = scaled.iter().map(|r| r[col]).sum::<f64>() / 3.0;
+            let var: f64 = scaled.iter().map(|r| (r[col] - mean).powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(scaler.means().len(), 2);
+        assert_eq!(scaler.std_devs().len(), 2);
+    }
+
+    #[test]
+    fn scaler_constant_column_is_noop() {
+        let rows = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let scaler = StandardScaler::fit(&rows);
+        let scaled = scaler.transform_row(&[5.0]);
+        assert_eq!(scaled, vec![0.0]);
+        assert_eq!(scaler.std_devs(), &[1.0]);
+    }
+}

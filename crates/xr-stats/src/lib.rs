@@ -1,0 +1,54 @@
+//! # xr-stats
+//!
+//! Numerics substrate for the xr-perf workspace: dense linear algebra,
+//! ordinary-least-squares multiple linear regression, polynomial feature
+//! expansion, descriptive statistics, error metrics, and dataset splitting.
+//!
+//! The paper fits four multiple-linear-regression sub-models from testbed
+//! measurements (compute-resource availability Eq. 3, encoding latency Eq. 10,
+//! CNN complexity Eq. 12, mean power Eq. 21) and reports their R² values.
+//! Mature numerics crates are not available in this offline environment, so
+//! this crate implements the required pieces from first principles:
+//!
+//! * [`Matrix`] — a small dense row-major matrix with multiplication,
+//!   transpose, and linear-system solving via Gaussian elimination with
+//!   partial pivoting.
+//! * [`LinearRegression`] / [`FittedLinearModel`] — OLS via the normal
+//!   equations, exposing coefficients, R², adjusted R², residuals, and
+//!   95 % confidence intervals for predictions.
+//! * [`PolynomialFeatures`] — degree-2 expansions used by Eqs. 3 and 21.
+//! * [`metrics`] — MAE, RMSE, MAPE, mean error %, and the *normalized
+//!   accuracy* measure of Fig. 5.
+//! * [`Summary`] — descriptive statistics for simulated traces.
+//! * [`split`] — seeded train/test splitting mirroring the paper's
+//!   119 465 / 36 083 sample split.
+//!
+//! ```
+//! use xr_stats::{LinearRegression, metrics};
+//!
+//! // y = 2 + 3·x, recovered exactly from noiseless data.
+//! let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+//! let ys: Vec<f64> = (0..20).map(|i| 2.0 + 3.0 * i as f64).collect();
+//! let fit = LinearRegression::new().fit(&xs, &ys)?;
+//! assert!((fit.intercept() - 2.0).abs() < 1e-9);
+//! assert!((fit.coefficients()[0] - 3.0).abs() < 1e-9);
+//! assert!(fit.r_squared() > 0.999);
+//! assert!(metrics::mean_absolute_error(&ys, &fit.predict_many(&xs)) < 1e-9);
+//! # Ok::<(), xr_types::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod descriptive;
+pub mod features;
+pub mod matrix;
+pub mod metrics;
+pub mod regression;
+pub mod split;
+
+pub use descriptive::Summary;
+pub use features::PolynomialFeatures;
+pub use matrix::Matrix;
+pub use regression::{FittedLinearModel, LinearRegression};
+pub use split::TrainTestSplit;

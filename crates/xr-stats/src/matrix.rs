@@ -1,0 +1,466 @@
+//! A small dense row-major matrix with just enough linear algebra for
+//! ordinary least squares: multiplication, transpose, and solving linear
+//! systems by Gaussian elimination with partial pivoting.
+//!
+//! The design matrices in this workspace are tall and thin (hundreds of
+//! thousands of rows, fewer than ten columns), so the normal-equations
+//! approach `(XᵀX)β = Xᵀy` with an O(k³) dense solve is entirely adequate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut, Mul};
+use xr_types::{Error, Result};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `rows` is empty or ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(Error::invalid_parameter("rows", "must be non-empty"));
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(Error::invalid_parameter(
+                "rows",
+                "all rows must have the same length",
+            ));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a single-column matrix from a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `values` is empty.
+    pub fn column(values: &[f64]) -> Result<Self> {
+        if values.is_empty() {
+            return Err(Error::invalid_parameter("values", "must be non-empty"));
+        }
+        Ok(Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Returns one row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[f64] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Flattens a single-column matrix into a `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has more than one column.
+    #[must_use]
+    pub fn into_column_vec(self) -> Vec<f64> {
+        assert_eq!(self.cols, 1, "into_column_vec requires a single column");
+        self.data
+    }
+
+    /// Solves `A · x = b` for `x` using Gaussian elimination with partial
+    /// pivoting, where `A` is this (square) matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularDesignMatrix`] when the matrix is singular
+    /// (a pivot smaller than `1e-12` is encountered) or not square, or when
+    /// `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.rows;
+        if self.rows != self.cols {
+            return Err(Error::SingularDesignMatrix {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        if b.len() != n {
+            return Err(Error::invalid_parameter(
+                "b",
+                format!("expected length {n}, got {}", b.len()),
+            ));
+        }
+
+        // Augmented working copies.
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivoting: find the row with the largest magnitude in
+            // this column at or below the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for row in (col + 1)..n {
+                let v = a[row * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < 1e-12 {
+                return Err(Error::SingularDesignMatrix {
+                    rows: self.rows,
+                    cols: self.cols,
+                });
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    a.swap(col * n + k, pivot_row * n + k);
+                }
+                x.swap(col, pivot_row);
+            }
+
+            // Eliminate below the pivot.
+            for row in (col + 1)..n {
+                let factor = a[row * n + col] / a[col * n + col];
+                if factor == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    a[row * n + k] -= factor * a[col * n + k];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+
+        // Back substitution.
+        let mut solution = vec![0.0; n];
+        for row in (0..n).rev() {
+            let mut acc = x[row];
+            for k in (row + 1)..n {
+                acc -= a[row * n + k] * solution[k];
+            }
+            solution[row] = acc / a[row * n + row];
+        }
+        Ok(solution)
+    }
+
+    /// Computes the matrix inverse via repeated solves against the identity.
+    ///
+    /// Only used for the small `k × k` matrices arising in regression
+    /// standard-error computations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularDesignMatrix`] when the matrix is singular or
+    /// not square.
+    pub fn inverse(&self) -> Result<Self> {
+        let n = self.rows;
+        if self.rows != self.cols {
+            return Err(Error::SingularDesignMatrix {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let mut out = Self::zeros(n, n);
+        for col in 0..n {
+            let mut e = vec![0.0; n];
+            e[col] = 1.0;
+            let x = self.solve(&e)?;
+            for row in 0..n {
+                out[(row, col)] = x[row];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Multiplies this matrix by a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length does not match the column count.
+    #[must_use]
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut out = vec![0.0; self.rows];
+        for (r, slot) in out.iter_mut().enumerate() {
+            let row = self.row(r);
+            *slot = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Computes `XᵀX` without materialising the transpose — the hot path of
+    /// the OLS fit over hundreds of thousands of simulated samples.
+    #[must_use]
+    pub fn gram(&self) -> Self {
+        let k = self.cols;
+        let mut out = Self::zeros(k, k);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..k {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..k {
+                    out[(i, j)] += ri * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..k {
+            for j in 0..i {
+                out[(i, j)] = out[(j, i)];
+            }
+        }
+        out
+    }
+
+    /// Computes `Xᵀy` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` differs from the number of rows.
+    #[must_use]
+    pub fn t_mul_vec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "dimension mismatch in t_mul_vec");
+        let mut out = vec![0.0; self.cols];
+        for (r, &yr) in y.iter().enumerate() {
+            let row = self.row(r);
+            for (o, x) in out.iter_mut().zip(row) {
+                *o += x * yr;
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:>12.5} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let id = Matrix::identity(3);
+        let x = id.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  ->  x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = a.solve(&[7.0, 9.0]).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(Error::SingularDesignMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_solve_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert!(a.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn wrong_rhs_length_rejected() {
+        let a = Matrix::identity(3);
+        assert!(a.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn gram_matches_explicit_transpose_product() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![0.0, 1.0, -1.0],
+            vec![3.0, 1.0, 2.0],
+            vec![1.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let explicit = &x.transpose() * &x;
+        let gram = x.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((explicit[(i, j)] - gram[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn t_mul_vec_matches_explicit() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let y = [1.0, 1.0, 1.0];
+        let explicit = x.transpose().mul_vec(&y);
+        assert_eq!(x.t_mul_vec(&y), explicit);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]).unwrap();
+        let inv = a.inverse().unwrap();
+        let prod = &a * &inv;
+        for i in 0..2 {
+            for j in 0..2 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expected).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::column(&[]).is_err());
+    }
+
+    #[test]
+    fn column_and_into_column_vec() {
+        let c = Matrix::column(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.cols(), 1);
+        assert_eq!(c.into_column_vec(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Matrix::identity(2);
+        assert!(format!("{a}").contains("1.00000"));
+    }
+}

@@ -1,0 +1,450 @@
+//! Multiple linear regression by ordinary least squares.
+//!
+//! The paper trains its regression sub-models with a 95 % confidence boundary
+//! on datasets collected from a subset of devices (XR1, XR3, XR5, XR6) and
+//! validates on held-out devices (XR2, XR4, XR7). [`LinearRegression`]
+//! reproduces that workflow: fit on a training design matrix, report R² /
+//! adjusted R², and predict (with optional 95 % confidence intervals) on test
+//! covariates.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+use xr_types::{Error, Result};
+
+/// Critical value of the standard normal distribution for a two-sided 95 %
+/// interval. With the dataset sizes used in this workspace (≥ 10⁴ rows) the
+/// Student-t value is indistinguishable from the normal one.
+const Z_95: f64 = 1.959_963_984_540_054;
+
+/// Ordinary-least-squares fitter (configuration half of the builder pair).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearRegression {
+    fit_intercept: bool,
+    /// Ridge term added to the diagonal of `XᵀX`; zero by default, used only
+    /// to stabilise nearly-collinear synthetic designs.
+    ridge: f64,
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinearRegression {
+    /// Creates a fitter with an intercept and no regularisation — the paper's
+    /// setting.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            fit_intercept: true,
+            ridge: 0.0,
+        }
+    }
+
+    /// Disables the intercept column.
+    #[must_use]
+    pub fn without_intercept(mut self) -> Self {
+        self.fit_intercept = false;
+        self
+    }
+
+    /// Adds a ridge penalty `λ` to the normal equations (`(XᵀX + λI)β = Xᵀy`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite.
+    #[must_use]
+    pub fn with_ridge(mut self, lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "ridge penalty must be non-negative"
+        );
+        self.ridge = lambda;
+        self
+    }
+
+    /// Fits the model to feature rows `xs` and targets `ys`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the inputs are empty, ragged, of mismatched
+    /// lengths, or if the design matrix is singular / under-determined.
+    pub fn fit(&self, xs: &[Vec<f64>], ys: &[f64]) -> Result<FittedLinearModel> {
+        if xs.is_empty() || ys.is_empty() {
+            return Err(Error::invalid_parameter("xs/ys", "must be non-empty"));
+        }
+        if xs.len() != ys.len() {
+            return Err(Error::invalid_parameter(
+                "ys",
+                format!("expected {} targets, got {}", xs.len(), ys.len()),
+            ));
+        }
+        let n_features = xs[0].len();
+        if n_features == 0 {
+            return Err(Error::invalid_parameter("xs", "rows must be non-empty"));
+        }
+        if xs.iter().any(|r| r.len() != n_features) {
+            return Err(Error::invalid_parameter("xs", "rows must be rectangular"));
+        }
+        let k = n_features + usize::from(self.fit_intercept);
+        if xs.len() < k {
+            return Err(Error::SingularDesignMatrix {
+                rows: xs.len(),
+                cols: k,
+            });
+        }
+
+        // Build the design matrix (with leading intercept column if enabled).
+        let design_rows: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|row| {
+                if self.fit_intercept {
+                    let mut r = Vec::with_capacity(k);
+                    r.push(1.0);
+                    r.extend_from_slice(row);
+                    r
+                } else {
+                    row.clone()
+                }
+            })
+            .collect();
+        let design = Matrix::from_rows(&design_rows)?;
+
+        // Normal equations.
+        let mut gram = design.gram();
+        if self.ridge > 0.0 {
+            for i in 0..k {
+                gram[(i, i)] += self.ridge;
+            }
+        }
+        let xty = design.t_mul_vec(ys);
+        let beta = gram.solve(&xty)?;
+
+        // Goodness of fit.
+        let predictions: Vec<f64> = design_rows
+            .iter()
+            .map(|r| r.iter().zip(&beta).map(|(x, b)| x * b).sum())
+            .collect();
+        let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 = ys
+            .iter()
+            .zip(&predictions)
+            .map(|(y, p)| (y - p).powi(2))
+            .sum();
+        let r_squared = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
+        let n = ys.len() as f64;
+        let dof = (ys.len().saturating_sub(k)).max(1) as f64;
+        let adjusted = 1.0 - (1.0 - r_squared) * (n - 1.0) / dof;
+        let sigma2 = ss_res / dof;
+
+        // (XᵀX)⁻¹ for prediction standard errors; tolerate failure (e.g. a
+        // ridge-free nearly-singular design) by omitting intervals.
+        let gram_inverse = gram.inverse().ok();
+
+        let (intercept, coefficients) = if self.fit_intercept {
+            (beta[0], beta[1..].to_vec())
+        } else {
+            (0.0, beta.clone())
+        };
+
+        Ok(FittedLinearModel {
+            intercept,
+            coefficients,
+            fit_intercept: self.fit_intercept,
+            r_squared,
+            adjusted_r_squared: adjusted,
+            residual_variance: sigma2,
+            n_observations: ys.len(),
+            gram_inverse,
+        })
+    }
+}
+
+/// The result of an OLS fit: coefficients plus goodness-of-fit diagnostics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FittedLinearModel {
+    intercept: f64,
+    coefficients: Vec<f64>,
+    fit_intercept: bool,
+    r_squared: f64,
+    adjusted_r_squared: f64,
+    residual_variance: f64,
+    n_observations: usize,
+    gram_inverse: Option<Matrix>,
+}
+
+impl FittedLinearModel {
+    /// Constructs a fitted model directly from known coefficients.
+    ///
+    /// The paper publishes the fitted coefficients of Eqs. 3, 10, 12 and 21;
+    /// this constructor lets `xr-devices` instantiate those exact published
+    /// models without refitting.
+    #[must_use]
+    pub fn from_coefficients(intercept: f64, coefficients: Vec<f64>, r_squared: f64) -> Self {
+        Self {
+            intercept,
+            coefficients,
+            fit_intercept: true,
+            r_squared,
+            adjusted_r_squared: r_squared,
+            residual_variance: 0.0,
+            n_observations: 0,
+            gram_inverse: None,
+        }
+    }
+
+    /// Intercept term (zero when fitted without an intercept).
+    #[must_use]
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Slope coefficients, in feature order.
+    #[must_use]
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Coefficient of determination R².
+    #[must_use]
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Adjusted R², penalising the number of regressors.
+    #[must_use]
+    pub fn adjusted_r_squared(&self) -> f64 {
+        self.adjusted_r_squared
+    }
+
+    /// Residual variance `σ̂² = SSR / (n − k)`.
+    #[must_use]
+    pub fn residual_variance(&self) -> f64 {
+        self.residual_variance
+    }
+
+    /// Number of observations used in the fit (zero for models built with
+    /// [`FittedLinearModel::from_coefficients`]).
+    #[must_use]
+    pub fn n_observations(&self) -> usize {
+        self.n_observations
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the number of coefficients.
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.coefficients.len(),
+            "expected {} features, got {}",
+            self.coefficients.len(),
+            features.len()
+        );
+        self.intercept
+            + features
+                .iter()
+                .zip(&self.coefficients)
+                .map(|(x, b)| x * b)
+                .sum::<f64>()
+    }
+
+    /// Predicts the targets for many feature rows.
+    #[must_use]
+    pub fn predict_many(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|row| self.predict(row)).collect()
+    }
+
+    /// Predicts with a symmetric 95 % confidence half-width for the *mean
+    /// response* at `features`, mirroring the paper's "95 % confidence
+    /// boundary" training procedure.
+    ///
+    /// Returns `(prediction, half_width)`. The half-width is zero when the
+    /// model was constructed from published coefficients (no residual
+    /// information available).
+    #[must_use]
+    pub fn predict_with_interval(&self, features: &[f64]) -> (f64, f64) {
+        let prediction = self.predict(features);
+        let Some(gram_inv) = &self.gram_inverse else {
+            return (prediction, 0.0);
+        };
+        // x vector in design space (intercept first when present).
+        let x: Vec<f64> = if self.fit_intercept {
+            std::iter::once(1.0).chain(features.iter().copied()).collect()
+        } else {
+            features.to_vec()
+        };
+        // var(ŷ) = σ² · xᵀ (XᵀX)⁻¹ x
+        let tmp = gram_inv.mul_vec(&x);
+        let quad: f64 = x.iter().zip(&tmp).map(|(a, b)| a * b).sum();
+        let half_width = Z_95 * (self.residual_variance * quad.max(0.0)).sqrt();
+        (prediction, half_width)
+    }
+
+    /// Residuals `y − ŷ` on a labelled dataset.
+    #[must_use]
+    pub fn residuals(&self, xs: &[Vec<f64>], ys: &[f64]) -> Vec<f64> {
+        xs.iter()
+            .zip(ys)
+            .map(|(row, y)| y - self.predict(row))
+            .collect()
+    }
+
+    /// R² evaluated on an *out-of-sample* dataset (the held-out devices in
+    /// the paper's methodology).
+    #[must_use]
+    pub fn score(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        if ys.is_empty() {
+            return f64::NAN;
+        }
+        let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 = self.residuals(xs, ys).iter().map(|r| r * r).sum();
+        if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else if ss_res < 1e-12 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noiseless_dataset() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 1.5 + 2·x1 − 0.5·x2
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            let x1 = i as f64 * 0.25;
+            let x2 = (i % 7) as f64;
+            xs.push(vec![x1, x2]);
+            ys.push(1.5 + 2.0 * x1 - 0.5 * x2);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn recovers_exact_coefficients_on_noiseless_data() {
+        let (xs, ys) = noiseless_dataset();
+        let fit = LinearRegression::new().fit(&xs, &ys).unwrap();
+        assert!((fit.intercept() - 1.5).abs() < 1e-9);
+        assert!((fit.coefficients()[0] - 2.0).abs() < 1e-9);
+        assert!((fit.coefficients()[1] + 0.5).abs() < 1e-9);
+        assert!(fit.r_squared() > 0.999_999);
+        assert!(fit.adjusted_r_squared() > 0.999_99);
+        assert_eq!(fit.n_observations(), 40);
+    }
+
+    #[test]
+    fn without_intercept_forces_origin() {
+        let xs: Vec<Vec<f64>> = (1..=20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (1..=20).map(|i| 4.0 * i as f64).collect();
+        let fit = LinearRegression::new()
+            .without_intercept()
+            .fit(&xs, &ys)
+            .unwrap();
+        assert_eq!(fit.intercept(), 0.0);
+        assert!((fit.coefficients()[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_has_reasonable_r_squared_and_intervals() {
+        // Deterministic pseudo-noise so the test stays reproducible.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..500 {
+            let x = i as f64 * 0.01;
+            let noise = ((i * 2_654_435_761_u64 % 1000) as f64 / 1000.0 - 0.5) * 0.2;
+            xs.push(vec![x]);
+            ys.push(3.0 + 0.7 * x + noise);
+        }
+        let fit = LinearRegression::new().fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared() > 0.95, "R² = {}", fit.r_squared());
+        let (pred, half) = fit.predict_with_interval(&[2.5]);
+        assert!((pred - (3.0 + 0.7 * 2.5)).abs() < 0.1);
+        assert!(half > 0.0 && half < 0.1);
+    }
+
+    #[test]
+    fn score_on_held_out_data() {
+        let (xs, ys) = noiseless_dataset();
+        let fit = LinearRegression::new().fit(&xs, &ys).unwrap();
+        let held_x = vec![vec![100.0, 3.0], vec![200.0, 1.0]];
+        let held_y: Vec<f64> = held_x.iter().map(|r| 1.5 + 2.0 * r[0] - 0.5 * r[1]).collect();
+        assert!(fit.score(&held_x, &held_y) > 0.999_999);
+    }
+
+    #[test]
+    fn residuals_are_zero_on_noiseless_fit() {
+        let (xs, ys) = noiseless_dataset();
+        let fit = LinearRegression::new().fit(&xs, &ys).unwrap();
+        assert!(fit.residuals(&xs, &ys).iter().all(|r| r.abs() < 1e-9));
+    }
+
+    #[test]
+    fn from_coefficients_predicts_directly() {
+        // Eq. 12 of the paper: C_CNN = 2.45 + 0.0025·d + 0.03·s + 0.0029·scale
+        let model =
+            FittedLinearModel::from_coefficients(2.45, vec![0.0025, 0.03, 0.0029], 0.844);
+        let c = model.predict(&[106.0, 210.0, 0.0]);
+        assert!((c - (2.45 + 0.0025 * 106.0 + 0.03 * 210.0)).abs() < 1e-9);
+        assert!((model.r_squared() - 0.844).abs() < 1e-12);
+        let (p, h) = model.predict_with_interval(&[106.0, 210.0, 0.0]);
+        assert_eq!(p, c);
+        assert_eq!(h, 0.0);
+    }
+
+    #[test]
+    fn under_determined_fit_rejected() {
+        let xs = vec![vec![1.0, 2.0, 3.0]];
+        let ys = vec![1.0];
+        assert!(matches!(
+            LinearRegression::new().fit(&xs, &ys),
+            Err(Error::SingularDesignMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let xs = vec![vec![1.0], vec![2.0]];
+        let ys = vec![1.0];
+        assert!(LinearRegression::new().fit(&xs, &ys).is_err());
+        assert!(LinearRegression::new().fit(&[], &[]).is_err());
+        assert!(LinearRegression::new()
+            .fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0])
+            .is_err());
+    }
+
+    #[test]
+    fn collinear_design_rejected_without_ridge_but_ok_with() {
+        // Second column is an exact copy of the first.
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, i as f64]).collect();
+        let ys: Vec<f64> = (0..30).map(|i| 2.0 * i as f64).collect();
+        assert!(LinearRegression::new().fit(&xs, &ys).is_err());
+        let fit = LinearRegression::new().with_ridge(1e-6).fit(&xs, &ys).unwrap();
+        // Ridge splits the weight across the duplicated columns.
+        let total: f64 = fit.coefficients().iter().sum();
+        assert!((total - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 features")]
+    fn predict_wrong_arity_panics() {
+        let (xs, ys) = noiseless_dataset();
+        let fit = LinearRegression::new().fit(&xs, &ys).unwrap();
+        let _ = fit.predict(&[1.0]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Seeded train/test dataset splitting.
+//!
+//! The paper trains its regression models on data from devices XR1, XR3, XR5
+//! and XR6 (119 465 samples) and evaluates on XR2, XR4 and XR7 (36 083
+//! samples). The testbed simulator follows the same device-held-out protocol;
+//! [`TrainTestSplit`] additionally offers a plain random split for ablation
+//! studies.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use xr_types::{Error, Result};
+
+/// The result of splitting a labelled dataset into train and test portions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainTestSplit {
+    /// Training feature rows.
+    pub train_x: Vec<Vec<f64>>,
+    /// Training targets.
+    pub train_y: Vec<f64>,
+    /// Test feature rows.
+    pub test_x: Vec<Vec<f64>>,
+    /// Test targets.
+    pub test_y: Vec<f64>,
+}
+
+impl TrainTestSplit {
+    /// Splits `(xs, ys)` randomly with the given training fraction and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the inputs are empty, have
+    /// mismatched lengths, if `train_fraction` is outside `(0, 1)`, or if the
+    /// split would leave either side empty.
+    pub fn random(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        train_fraction: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(Error::invalid_parameter(
+                "xs/ys",
+                "must be non-empty and of equal length",
+            ));
+        }
+        if !(0.0..1.0).contains(&train_fraction) || train_fraction == 0.0 {
+            return Err(Error::invalid_parameter(
+                "train_fraction",
+                "must lie strictly between 0 and 1",
+            ));
+        }
+        let mut indices: Vec<usize> = (0..xs.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        indices.shuffle(&mut rng);
+        let n_train = ((xs.len() as f64) * train_fraction).round() as usize;
+        if n_train == 0 || n_train == xs.len() {
+            return Err(Error::invalid_parameter(
+                "train_fraction",
+                "split leaves one side empty",
+            ));
+        }
+        let (train_idx, test_idx) = indices.split_at(n_train);
+        Ok(Self {
+            train_x: train_idx.iter().map(|&i| xs[i].clone()).collect(),
+            train_y: train_idx.iter().map(|&i| ys[i]).collect(),
+            test_x: test_idx.iter().map(|&i| xs[i].clone()).collect(),
+            test_y: test_idx.iter().map(|&i| ys[i]).collect(),
+        })
+    }
+
+    /// Splits by group label: rows whose label is in `train_groups` become
+    /// training data, everything else becomes test data. This mirrors the
+    /// paper's device-held-out protocol (train on XR1/XR3/XR5/XR6, test on
+    /// XR2/XR4/XR7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if lengths mismatch or either side
+    /// of the split ends up empty.
+    pub fn by_group(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        groups: &[u64],
+        train_groups: &[u64],
+    ) -> Result<Self> {
+        if xs.len() != ys.len() || xs.len() != groups.len() || xs.is_empty() {
+            return Err(Error::invalid_parameter(
+                "xs/ys/groups",
+                "must be non-empty and of equal length",
+            ));
+        }
+        let mut split = Self {
+            train_x: Vec::new(),
+            train_y: Vec::new(),
+            test_x: Vec::new(),
+            test_y: Vec::new(),
+        };
+        for ((x, y), g) in xs.iter().zip(ys).zip(groups) {
+            if train_groups.contains(g) {
+                split.train_x.push(x.clone());
+                split.train_y.push(*y);
+            } else {
+                split.test_x.push(x.clone());
+                split.test_y.push(*y);
+            }
+        }
+        if split.train_x.is_empty() || split.test_x.is_empty() {
+            return Err(Error::invalid_parameter(
+                "train_groups",
+                "split leaves one side empty",
+            ));
+        }
+        Ok(split)
+    }
+
+    /// Number of training rows.
+    #[must_use]
+    pub fn train_len(&self) -> usize {
+        self.train_x.len()
+    }
+
+    /// Number of test rows.
+    #[must_use]
+    pub fn test_len(&self) -> usize {
+        self.test_x.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..n).map(|i| i as f64 * 2.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn random_split_partitions_all_rows() {
+        let (xs, ys) = dataset(100);
+        let split = TrainTestSplit::random(&xs, &ys, 0.8, 42).unwrap();
+        assert_eq!(split.train_len(), 80);
+        assert_eq!(split.test_len(), 20);
+        assert_eq!(split.train_len() + split.test_len(), 100);
+        // No row lost: the union of targets matches the original multiset.
+        let mut all: Vec<f64> = split.train_y.iter().chain(&split.test_y).copied().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut orig = ys.clone();
+        orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn random_split_is_deterministic_per_seed() {
+        let (xs, ys) = dataset(50);
+        let a = TrainTestSplit::random(&xs, &ys, 0.7, 7).unwrap();
+        let b = TrainTestSplit::random(&xs, &ys, 0.7, 7).unwrap();
+        let c = TrainTestSplit::random(&xs, &ys, 0.7, 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn group_split_mirrors_device_protocol() {
+        let (xs, ys) = dataset(10);
+        // Devices 1..=7 cycling; train on {1, 3, 5, 6} like the paper.
+        let groups: Vec<u64> = (0..10).map(|i| (i % 7) + 1).collect();
+        let split = TrainTestSplit::by_group(&xs, &ys, &groups, &[1, 3, 5, 6]).unwrap();
+        assert_eq!(split.train_len() + split.test_len(), 10);
+        assert!(split.train_len() > 0 && split.test_len() > 0);
+    }
+
+    #[test]
+    fn invalid_fractions_rejected() {
+        let (xs, ys) = dataset(10);
+        assert!(TrainTestSplit::random(&xs, &ys, 0.0, 1).is_err());
+        assert!(TrainTestSplit::random(&xs, &ys, 1.0, 1).is_err());
+        assert!(TrainTestSplit::random(&xs, &ys, 0.01, 1).is_err());
+        assert!(TrainTestSplit::random(&[], &[], 0.5, 1).is_err());
+    }
+
+    #[test]
+    fn degenerate_group_split_rejected() {
+        let (xs, ys) = dataset(4);
+        let groups = vec![1, 1, 1, 1];
+        assert!(TrainTestSplit::by_group(&xs, &ys, &groups, &[1]).is_err());
+        assert!(TrainTestSplit::by_group(&xs, &ys, &groups, &[2]).is_err());
+        assert!(TrainTestSplit::by_group(&xs, &ys, &[1, 2], &[1]).is_err());
+    }
+}

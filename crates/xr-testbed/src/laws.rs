@@ -1,0 +1,259 @@
+//! The hidden "true" hardware laws of the simulated testbed.
+//!
+//! The real testbed's devices obey physics the analytical framework can only
+//! approximate through regression. To reproduce that relationship the
+//! simulator evaluates *these* laws — smooth, monotone, with interaction
+//! effects and per-device biases — while the analytical models are fitted on
+//! noisy samples of them (see [`crate::dataset`]). The gap between the two is
+//! what generates the few-percent validation errors of Section VIII.
+
+use serde::{Deserialize, Serialize};
+use xr_core::EncodingConfig;
+use xr_devices::CnnModel;
+use xr_types::{Frame, GigaHertz, Ratio, Watts};
+
+/// Per-device multiplicative bias factors, modelling the fact that two phones
+/// with the same nominal clocks still differ in sustained performance
+/// (thermal envelopes, schedulers, memory controllers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceBias {
+    /// Multiplier on the effective compute resource (1.0 = nominal).
+    pub compute: f64,
+    /// Multiplier on the power draw.
+    pub power: f64,
+    /// Multiplier on the encoder cost.
+    pub encoding: f64,
+}
+
+impl DeviceBias {
+    /// The bias of a named device. Values are fixed (not random) so that the
+    /// training/held-out device split of the paper is reproducible: the
+    /// training devices (XR1/XR3/XR5/XR6) and the validation devices
+    /// (XR2/XR4/XR7) have slightly different biases, which is exactly what
+    /// makes held-out validation meaningful.
+    #[must_use]
+    pub fn for_device(name: &str) -> Self {
+        match name {
+            "XR1" => Self { compute: 1.06, power: 0.97, encoding: 0.95 },
+            "XR2" => Self { compute: 1.02, power: 1.03, encoding: 1.04 },
+            "XR3" => Self { compute: 0.90, power: 1.05, encoding: 1.08 },
+            "XR4" => Self { compute: 0.92, power: 1.02, encoding: 1.05 },
+            "XR5" => Self { compute: 0.95, power: 0.98, encoding: 1.02 },
+            "XR6" => Self { compute: 1.04, power: 1.00, encoding: 0.97 },
+            "XR7" => Self { compute: 1.10, power: 0.95, encoding: 0.93 },
+            _ => Self { compute: 1.0, power: 1.0, encoding: 1.0 },
+        }
+    }
+
+    /// The neutral bias (1.0 everywhere).
+    #[must_use]
+    pub fn neutral() -> Self {
+        Self {
+            compute: 1.0,
+            power: 1.0,
+            encoding: 1.0,
+        }
+    }
+}
+
+impl Default for DeviceBias {
+    fn default() -> Self {
+        Self::neutral()
+    }
+}
+
+/// The true hardware laws of the simulated testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrueLaws {
+    /// Edge servers deliver this many times the compute resource of the
+    /// reference client at equal nominal clocks (the physical counterpart of
+    /// the paper's fitted `c_ε = 11.76·c_client`).
+    pub edge_speedup: f64,
+}
+
+impl TrueLaws {
+    /// The default laws used by all experiments.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self { edge_speedup: 11.5 }
+    }
+
+    /// The true compute resource (pixel²/ms) delivered to the application for
+    /// a clock/utilisation operating point: monotone in both clocks, linear
+    /// in the CPU band of Table I, super-linear in the GPU clock, with a
+    /// small CPU×GPU interaction when the task is split.
+    #[must_use]
+    pub fn compute_resource(
+        &self,
+        cpu_clock: GigaHertz,
+        gpu_clock: GigaHertz,
+        cpu_share: Ratio,
+        bias: DeviceBias,
+    ) -> f64 {
+        let fc = cpu_clock.as_f64().max(0.0);
+        let fg = gpu_clock.as_f64().max(0.0);
+        let wc = cpu_share.as_f64();
+        let wg = 1.0 - wc;
+        let cpu_part = 2.0 + 5.2 * fc;
+        let gpu_part = (10.0 + 120.0 * fg * fg - 60.0 * fg).max(2.0);
+        let interaction = 0.8 * wc * wg * fc * fg;
+        (wc * cpu_part + wg * gpu_part + interaction).max(0.5) * bias.compute
+    }
+
+    /// The true mean power draw (W) of the device while computing.
+    #[must_use]
+    pub fn mean_power(
+        &self,
+        cpu_clock: GigaHertz,
+        gpu_clock: GigaHertz,
+        cpu_share: Ratio,
+        bias: DeviceBias,
+    ) -> Watts {
+        let fc = cpu_clock.as_f64().max(0.0);
+        let fg = gpu_clock.as_f64().max(0.0);
+        let wc = cpu_share.as_f64();
+        let wg = 1.0 - wc;
+        let cpu_part = 0.9 + 0.75 * fc.powf(1.35);
+        let gpu_part = 0.7 + 2.6 * fg.powf(1.25);
+        Watts::new(((wc * cpu_part + wg * gpu_part) * bias.power).max(0.2))
+    }
+
+    /// The true encoder cost (pixel²-equivalents of work) for a frame under
+    /// an encoder configuration. Includes a frame-size × quantisation
+    /// interaction the paper's linear regression cannot represent.
+    #[must_use]
+    pub fn encoding_work(
+        &self,
+        config: &EncodingConfig,
+        frame: &Frame,
+        bias: DeviceBias,
+    ) -> f64 {
+        let s = frame.raw_size.as_f64();
+        let fps = frame.frame_rate.as_f64();
+        let base = 1.5 * s + 150.0 * fps + 48.0 * config.bitrate_mbps
+            + 130.0 * config.b_frame_interval
+            - 6.5 * config.i_frame_interval
+            + 3.2 * config.quantization
+            + 0.000_28 * s * config.quantization;
+        (base * bias.encoding).max(50.0)
+    }
+
+    /// The true decode/encode compute ratio on the same device (the paper's
+    /// measured discount is "around one third"; the truth here is 0.31).
+    #[must_use]
+    pub fn decode_discount(&self) -> f64 {
+        0.31
+    }
+
+    /// The true CNN workload multiplier: how much slower a frame is processed
+    /// through this network compared to a hypothetical single-layer model.
+    #[must_use]
+    pub fn cnn_complexity(&self, cnn: &CnnModel) -> f64 {
+        let depth = f64::from(cnn.depth);
+        let size = cnn.size.as_f64();
+        let scale = cnn.depth_scale;
+        let gpu_relief = if cnn.gpu_support { 0.85 } else { 1.0 };
+        ((2.1 + 0.0032 * depth + 0.027 * size + 0.003 * scale) * gpu_relief).max(0.5)
+    }
+}
+
+impl Default for TrueLaws {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xr_devices::CnnCatalog;
+    use xr_types::{FrameId, Hertz};
+
+    fn ghz(v: f64) -> GigaHertz {
+        GigaHertz::new(v)
+    }
+
+    #[test]
+    fn compute_resource_is_monotone_in_clocks() {
+        let laws = TrueLaws::standard();
+        let bias = DeviceBias::neutral();
+        let mut last = 0.0;
+        for f in [1.0, 1.5, 2.0, 2.5, 3.0] {
+            let c = laws.compute_resource(ghz(f), ghz(0.6), Ratio::ONE, bias);
+            assert!(c > last, "resource must grow with CPU clock");
+            last = c;
+        }
+        let mut last = 0.0;
+        for f in [0.5, 0.8, 1.0, 1.3] {
+            let c = laws.compute_resource(ghz(2.0), ghz(f), Ratio::ZERO, bias);
+            assert!(c > last, "resource must grow with GPU clock");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn power_is_monotone_in_clocks() {
+        let laws = TrueLaws::standard();
+        let bias = DeviceBias::neutral();
+        assert!(
+            laws.mean_power(ghz(3.0), ghz(0.6), Ratio::ONE, bias)
+                > laws.mean_power(ghz(1.0), ghz(0.6), Ratio::ONE, bias)
+        );
+        assert!(
+            laws.mean_power(ghz(2.0), ghz(1.3), Ratio::ZERO, bias)
+                > laws.mean_power(ghz(2.0), ghz(0.5), Ratio::ZERO, bias)
+        );
+        // Power magnitudes stay in the single-watt smartphone band.
+        let p = laws.mean_power(ghz(2.84), ghz(0.587), Ratio::new(0.6), bias);
+        assert!(p.as_f64() > 1.0 && p.as_f64() < 6.0);
+    }
+
+    #[test]
+    fn device_bias_shifts_devices_apart() {
+        let laws = TrueLaws::standard();
+        let xr1 = laws.compute_resource(ghz(2.0), ghz(0.6), Ratio::ONE, DeviceBias::for_device("XR1"));
+        let xr3 = laws.compute_resource(ghz(2.0), ghz(0.6), Ratio::ONE, DeviceBias::for_device("XR3"));
+        assert!(xr1 > xr3);
+        assert_eq!(DeviceBias::for_device("unknown"), DeviceBias::neutral());
+        assert_eq!(DeviceBias::default(), DeviceBias::neutral());
+    }
+
+    #[test]
+    fn encoding_work_grows_with_frame_size_and_bitrate() {
+        let laws = TrueLaws::standard();
+        let bias = DeviceBias::neutral();
+        let config = EncodingConfig::default();
+        let small = Frame::from_resolution(FrameId::new(1), 300.0, Hertz::new(30.0));
+        let large = Frame::from_resolution(FrameId::new(1), 700.0, Hertz::new(30.0));
+        assert!(laws.encoding_work(&config, &large, bias) > laws.encoding_work(&config, &small, bias));
+        let high_bitrate = EncodingConfig {
+            bitrate_mbps: 20.0,
+            ..EncodingConfig::default()
+        };
+        assert!(
+            laws.encoding_work(&high_bitrate, &small, bias)
+                > laws.encoding_work(&config, &small, bias)
+        );
+    }
+
+    #[test]
+    fn cnn_complexity_ranks_models_sensibly() {
+        let laws = TrueLaws::standard();
+        let catalog = CnnCatalog::table2();
+        let mobilenet = laws.cnn_complexity(catalog.model("MobileNetV1_240_Quant").unwrap());
+        let yolo = laws.cnn_complexity(catalog.model("YoloV3").unwrap());
+        let nasnet = laws.cnn_complexity(catalog.model("NasNet_Float").unwrap());
+        assert!(yolo > mobilenet);
+        assert!(nasnet > mobilenet);
+        for m in catalog.iter() {
+            assert!(laws.cnn_complexity(m) > 0.0);
+        }
+    }
+
+    #[test]
+    fn decode_discount_is_about_one_third() {
+        let laws = TrueLaws::standard();
+        assert!((laws.decode_discount() - 1.0 / 3.0).abs() < 0.05);
+        assert!(laws.edge_speedup > 10.0 && laws.edge_speedup < 13.0);
+    }
+}

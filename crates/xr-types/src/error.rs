@@ -1,0 +1,142 @@
+//! Workspace-wide error type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Convenience alias used by fallible functions across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the xr-perf crates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Error {
+    /// A model was given a parameter outside its validity range, e.g. a
+    /// non-positive clock frequency or an M/M/1 queue with `λ ≥ µ`.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: String,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A regression fit was requested on a design matrix that is singular or
+    /// has fewer rows than columns.
+    SingularDesignMatrix {
+        /// Number of observations provided.
+        rows: usize,
+        /// Number of features (including intercept).
+        cols: usize,
+    },
+    /// The queueing system is unstable (`λ ≥ µ`), so steady-state quantities
+    /// such as the mean waiting time do not exist.
+    UnstableQueue {
+        /// Offered arrival rate.
+        arrival_rate: f64,
+        /// Service rate.
+        service_rate: f64,
+    },
+    /// A lookup (device, CNN, sensor, edge server) failed.
+    NotFound {
+        /// What kind of entity was looked up.
+        entity: String,
+        /// The key that missed.
+        key: String,
+    },
+    /// A configuration is structurally inconsistent, e.g. a remote-inference
+    /// scenario without any edge server.
+    InvalidConfiguration(String),
+}
+
+impl Error {
+    /// Shorthand constructor for [`Error::InvalidParameter`].
+    #[must_use]
+    pub fn invalid_parameter(name: impl Into<String>, reason: impl Into<String>) -> Self {
+        Error::InvalidParameter {
+            name: name.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`Error::NotFound`].
+    #[must_use]
+    pub fn not_found(entity: impl Into<String>, key: impl Into<String>) -> Self {
+        Error::NotFound {
+            entity: entity.into(),
+            key: key.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`Error::InvalidConfiguration`].
+    #[must_use]
+    pub fn invalid_configuration(reason: impl Into<String>) -> Self {
+        Error::InvalidConfiguration(reason.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Error::SingularDesignMatrix { rows, cols } => write!(
+                f,
+                "singular or under-determined design matrix ({rows} rows, {cols} columns)"
+            ),
+            Error::UnstableQueue {
+                arrival_rate,
+                service_rate,
+            } => write!(
+                f,
+                "unstable queue: arrival rate {arrival_rate} is not below service rate {service_rate}"
+            ),
+            Error::NotFound { entity, key } => write!(f, "{entity} `{key}` not found"),
+            Error::InvalidConfiguration(reason) => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::invalid_parameter("f_c", "must be positive");
+        assert_eq!(e.to_string(), "invalid parameter `f_c`: must be positive");
+
+        let e = Error::UnstableQueue {
+            arrival_rate: 10.0,
+            service_rate: 5.0,
+        };
+        assert!(e.to_string().contains("unstable queue"));
+
+        let e = Error::not_found("device", "XR9");
+        assert_eq!(e.to_string(), "device `XR9` not found");
+
+        let e = Error::SingularDesignMatrix { rows: 2, cols: 5 };
+        assert!(e.to_string().contains("2 rows"));
+
+        let e = Error::invalid_configuration("remote inference requires an edge server");
+        assert!(e.to_string().starts_with("invalid configuration"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<Error>();
+    }
+
+    #[test]
+    fn errors_compare_equal_structurally() {
+        assert_eq!(
+            Error::not_found("cnn", "yolo"),
+            Error::not_found("cnn", "yolo")
+        );
+        assert_ne!(
+            Error::not_found("cnn", "yolo"),
+            Error::not_found("cnn", "nasnet")
+        );
+    }
+}

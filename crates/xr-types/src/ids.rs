@@ -1,0 +1,112 @@
+//! Opaque identifiers for frames, devices, sensors, and edge servers.
+//!
+//! The testbed simulator and the analytical models exchange these identifiers
+//! instead of raw integers so that, e.g., an edge-server index can never be
+//! used to index the external-sensor set.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[must_use]
+            pub const fn new(index: u64) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index.
+            #[must_use]
+            pub const fn index(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the identifier following this one.
+            #[must_use]
+            pub const fn next(self) -> Self {
+                Self(self.0 + 1)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(index: u64) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a generated frame `q ∈ {1, …, Q_n}`.
+    FrameId,
+    "frame-"
+);
+id_type!(
+    /// Identifies an XR device (a row of Table I, or an additional simulated
+    /// device).
+    DeviceId,
+    "device-"
+);
+id_type!(
+    /// Identifies an external sensor or cooperating device `m ∈ {0, …, M}`.
+    SensorId,
+    "sensor-"
+);
+id_type!(
+    /// Identifies an edge server `e ∈ E` that can host remote inference.
+    EdgeServerId,
+    "edge-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        let a = FrameId::new(1);
+        let b = a.next();
+        assert!(b > a);
+        assert_eq!(b.index(), 2);
+        assert_eq!(format!("{a}"), "frame-1");
+        assert_eq!(format!("{}", SensorId::new(3)), "sensor-3");
+        assert_eq!(format!("{}", EdgeServerId::new(0)), "edge-0");
+        assert_eq!(format!("{}", DeviceId::new(7)), "device-7");
+    }
+
+    #[test]
+    fn ids_round_trip_through_u64() {
+        let id = DeviceId::from(42u64);
+        assert_eq!(u64::from(id), 42);
+    }
+
+    #[test]
+    fn ids_usable_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(SensorId::new(1), "lidar");
+        m.insert(SensorId::new(2), "rsu");
+        assert_eq!(m[&SensorId::new(1)], "lidar");
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,368 @@
+//! The XR application pipeline segments of Fig. 1 and the execution target
+//! (local / remote / split) decision.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One segment of the XR object-detection pipeline described in Section III
+/// of the paper (Fig. 1).
+///
+/// The end-to-end latency (Eq. 1) and energy (Eq. 19) models attribute a
+/// per-frame cost to each of these segments. Some segments only contribute
+/// under local execution (`FrameConversion`, `LocalInference`), some only
+/// under remote execution (`FrameEncoding`, `RemoteInference`, `Transmission`,
+/// `Handoff`), and `XrCooperation` usually runs in parallel with rendering and
+/// may be excluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Segment {
+    /// Camera capture, Bayer filtering, and image signal processing (Eq. 2).
+    FrameGeneration,
+    /// Inertial data, 6-DoF localisation and 3D point-cloud extraction (Eq. 4).
+    VolumetricDataGeneration,
+    /// External control/environment information from sensors and devices (Eq. 5).
+    ExternalSensorInformation,
+    /// YUV→RGB conversion, scaling and cropping for the local CNN (Eq. 9).
+    FrameConversion,
+    /// H.264 encoding of frames destined for the edge server (Eq. 10).
+    FrameEncoding,
+    /// On-device inference with the lightweight CNN (Eq. 11).
+    LocalInference,
+    /// Edge-side decode + inference with the large CNN (Eqs. 13–15).
+    RemoteInference,
+    /// Composition of frame, volumetric data, control info, and results (Eq. 8).
+    FrameRendering,
+    /// Uplink/downlink transfer between XR device and edge server (Eq. 16).
+    Transmission,
+    /// Horizontal or vertical handoff while the device is mobile (Eq. 17).
+    Handoff,
+    /// Scene/fragment exchange with cooperative XR devices (Eq. 18).
+    XrCooperation,
+}
+
+impl Segment {
+    /// All segments, in the order of the pipeline diagram in Fig. 1.
+    pub const ALL: [Segment; 11] = [
+        Segment::FrameGeneration,
+        Segment::VolumetricDataGeneration,
+        Segment::ExternalSensorInformation,
+        Segment::FrameConversion,
+        Segment::FrameEncoding,
+        Segment::LocalInference,
+        Segment::RemoteInference,
+        Segment::FrameRendering,
+        Segment::Transmission,
+        Segment::Handoff,
+        Segment::XrCooperation,
+    ];
+
+    /// Returns `true` when the segment runs on the XR device itself (as
+    /// opposed to the edge server or the wireless medium).
+    #[must_use]
+    pub fn runs_on_client(self) -> bool {
+        !matches!(
+            self,
+            Segment::RemoteInference | Segment::Transmission | Segment::Handoff
+        )
+    }
+
+    /// Returns `true` when the segment only contributes under *local*
+    /// inference (`ω_loc = 1` in Eq. 1).
+    #[must_use]
+    pub fn local_only(self) -> bool {
+        matches!(self, Segment::FrameConversion | Segment::LocalInference)
+    }
+
+    /// Returns `true` when the segment only contributes under *remote*
+    /// inference (`ω̄_loc = 1` in Eq. 1).
+    #[must_use]
+    pub fn remote_only(self) -> bool {
+        matches!(
+            self,
+            Segment::FrameEncoding
+                | Segment::RemoteInference
+                | Segment::Transmission
+                | Segment::Handoff
+        )
+    }
+
+    /// Returns `true` when the paper treats the segment as optionally running
+    /// in parallel with rendering (and therefore excludable from `L_tot`).
+    #[must_use]
+    pub fn parallel_with_rendering(self) -> bool {
+        matches!(self, Segment::XrCooperation)
+    }
+
+    /// Short machine-readable name, used for CSV column headers.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Segment::FrameGeneration => "frame_gen",
+            Segment::VolumetricDataGeneration => "volumetric",
+            Segment::ExternalSensorInformation => "external",
+            Segment::FrameConversion => "conversion",
+            Segment::FrameEncoding => "encoding",
+            Segment::LocalInference => "local_inf",
+            Segment::RemoteInference => "remote_inf",
+            Segment::FrameRendering => "rendering",
+            Segment::Transmission => "transmission",
+            Segment::Handoff => "handoff",
+            Segment::XrCooperation => "cooperation",
+        }
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Segment::FrameGeneration => "frame generation",
+            Segment::VolumetricDataGeneration => "volumetric data generation",
+            Segment::ExternalSensorInformation => "external sensor information generation",
+            Segment::FrameConversion => "frame conversion",
+            Segment::FrameEncoding => "frame encoding",
+            Segment::LocalInference => "local inference",
+            Segment::RemoteInference => "remote inference",
+            Segment::FrameRendering => "frame rendering",
+            Segment::Transmission => "transmission",
+            Segment::Handoff => "handoff",
+            Segment::XrCooperation => "XR cooperation",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Where the inference task of a frame executes.
+///
+/// The paper encodes this with the binary decision `ω_loc ∈ {0, 1}` plus a
+/// task-split `ω_client + Σ_e ω_edge^e = ω_task` for distributed execution.
+/// `ExecutionTarget` captures the three cases explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ExecutionTarget {
+    /// `ω_loc = 1`: the whole inference task runs on the XR device.
+    #[default]
+    Local,
+    /// `ω_loc = 0`: the whole inference task runs on one or more edge servers.
+    Remote,
+    /// The task is split: `client_share` runs on the device, the rest on the
+    /// edge server(s). `client_share` is the paper's `ω_client`.
+    Split {
+        /// Fraction of the task executed on the XR device, `ω_client ∈ [0, 1]`.
+        client_share: f64,
+    },
+}
+
+impl ExecutionTarget {
+    /// The paper's indicator `ω_loc`: 1 for fully local, 0 otherwise.
+    #[must_use]
+    pub fn omega_loc(self) -> f64 {
+        match self {
+            ExecutionTarget::Local => 1.0,
+            ExecutionTarget::Remote | ExecutionTarget::Split { .. } => 0.0,
+        }
+    }
+
+    /// Fraction of the task executed on the XR device (`ω_client`).
+    #[must_use]
+    pub fn client_share(self) -> f64 {
+        match self {
+            ExecutionTarget::Local => 1.0,
+            ExecutionTarget::Remote => 0.0,
+            ExecutionTarget::Split { client_share } => client_share.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Fraction of the task executed on the edge side (`Σ_e ω_edge^e`).
+    #[must_use]
+    pub fn edge_share(self) -> f64 {
+        1.0 - self.client_share()
+    }
+
+    /// Returns `true` when any part of the task is offloaded.
+    #[must_use]
+    pub fn uses_edge(self) -> bool {
+        self.edge_share() > 0.0
+    }
+
+    /// Returns `true` when any part of the task runs on the device.
+    #[must_use]
+    pub fn uses_client(self) -> bool {
+        self.client_share() > 0.0
+    }
+}
+
+impl fmt::Display for ExecutionTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionTarget::Local => f.write_str("local"),
+            ExecutionTarget::Remote => f.write_str("remote"),
+            ExecutionTarget::Split { client_share } => {
+                write!(f, "split(client={client_share:.2})")
+            }
+        }
+    }
+}
+
+/// A set of segments included in an end-to-end computation.
+///
+/// Applications differ in whether XR cooperation or handoff are part of the
+/// critical path (Section IV-B); `SegmentSet` lets callers express that
+/// choice once and reuse it across the latency and energy models.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentSet {
+    included: Vec<Segment>,
+}
+
+impl SegmentSet {
+    /// The default end-to-end set used in the paper's evaluation: everything
+    /// except XR cooperation (assumed parallel with rendering).
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            included: Segment::ALL
+                .into_iter()
+                .filter(|s| !s.parallel_with_rendering())
+                .collect(),
+        }
+    }
+
+    /// Every segment, including XR cooperation.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            included: Segment::ALL.to_vec(),
+        }
+    }
+
+    /// An empty set; use [`SegmentSet::with`] to add segments.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            included: Vec::new(),
+        }
+    }
+
+    /// Returns a copy of this set with `segment` added (idempotent).
+    #[must_use]
+    pub fn with(mut self, segment: Segment) -> Self {
+        if !self.included.contains(&segment) {
+            self.included.push(segment);
+        }
+        self
+    }
+
+    /// Returns a copy of this set with `segment` removed.
+    #[must_use]
+    pub fn without(mut self, segment: Segment) -> Self {
+        self.included.retain(|s| *s != segment);
+        self
+    }
+
+    /// Returns `true` when `segment` is part of the end-to-end calculation.
+    #[must_use]
+    pub fn contains(&self, segment: Segment) -> bool {
+        self.included.contains(&segment)
+    }
+
+    /// Iterates over the included segments in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.included.iter().copied()
+    }
+
+    /// Number of included segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.included.len()
+    }
+
+    /// Returns `true` when no segment is included.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.included.is_empty()
+    }
+}
+
+impl Default for SegmentSet {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_segments_enumerated_once() {
+        let mut seen = std::collections::HashSet::new();
+        for s in Segment::ALL {
+            assert!(seen.insert(s), "duplicate segment {s}");
+        }
+        assert_eq!(seen.len(), 11);
+    }
+
+    #[test]
+    fn local_and_remote_only_are_disjoint() {
+        for s in Segment::ALL {
+            assert!(!(s.local_only() && s.remote_only()), "{s} is both");
+        }
+    }
+
+    #[test]
+    fn standard_set_excludes_cooperation() {
+        let set = SegmentSet::standard();
+        assert!(!set.contains(Segment::XrCooperation));
+        assert!(set.contains(Segment::FrameGeneration));
+        assert_eq!(set.len(), 10);
+        assert_eq!(SegmentSet::full().len(), 11);
+    }
+
+    #[test]
+    fn with_and_without_round_trip() {
+        let set = SegmentSet::standard()
+            .with(Segment::XrCooperation)
+            .with(Segment::XrCooperation);
+        assert_eq!(set.len(), 11);
+        let set = set.without(Segment::Handoff);
+        assert!(!set.contains(Segment::Handoff));
+        assert!(!SegmentSet::empty().contains(Segment::FrameGeneration));
+        assert!(SegmentSet::empty().is_empty());
+    }
+
+    #[test]
+    fn execution_target_shares_sum_to_one() {
+        for target in [
+            ExecutionTarget::Local,
+            ExecutionTarget::Remote,
+            ExecutionTarget::Split { client_share: 0.3 },
+        ] {
+            let total = target.client_share() + target.edge_share();
+            assert!((total - 1.0).abs() < 1e-12, "{target}: {total}");
+        }
+    }
+
+    #[test]
+    fn omega_loc_matches_paper_semantics() {
+        assert_eq!(ExecutionTarget::Local.omega_loc(), 1.0);
+        assert_eq!(ExecutionTarget::Remote.omega_loc(), 0.0);
+        assert_eq!(ExecutionTarget::Split { client_share: 0.5 }.omega_loc(), 0.0);
+        assert!(ExecutionTarget::Remote.uses_edge());
+        assert!(!ExecutionTarget::Remote.uses_client());
+        assert!(ExecutionTarget::Local.uses_client());
+        assert!(!ExecutionTarget::Local.uses_edge());
+    }
+
+    #[test]
+    fn split_share_is_clamped() {
+        let t = ExecutionTarget::Split { client_share: 1.4 };
+        assert_eq!(t.client_share(), 1.0);
+        let t = ExecutionTarget::Split { client_share: -0.4 };
+        assert_eq!(t.client_share(), 0.0);
+    }
+
+    #[test]
+    fn segment_short_names_are_unique() {
+        let mut names = std::collections::HashSet::new();
+        for s in Segment::ALL {
+            assert!(names.insert(s.short_name()));
+        }
+    }
+}

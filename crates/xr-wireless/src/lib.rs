@@ -1,0 +1,39 @@
+//! # xr-wireless
+//!
+//! Wireless-network substrate for the xr-perf workspace.
+//!
+//! The paper's latency model needs, from the wireless side:
+//!
+//! * propagation delay `d/c` between sensors / edge servers / cooperative
+//!   devices and the XR device (Eqs. 6, 16, 18, 23),
+//! * the available throughput `r_w` of the access link (Eq. 16),
+//! * the handoff probability `P(HO)` of a mobile XR device under a random
+//!   walk mobility model and the handoff latency `l_HO` for horizontal and
+//!   vertical handoffs (Eq. 17, following refs. [49]–[51]),
+//! * optionally, path-loss models, which the paper explicitly leaves out of
+//!   its defaults ("We assume that there are no path loss, shadowing, or
+//!   fading effects … which can be incorporated into the model according to
+//!   system requirements"). They are provided here so the extension is
+//!   available.
+//!
+//! ```
+//! use xr_wireless::{AccessTechnology, WirelessLink};
+//! use xr_types::{MegaBytes, Meters};
+//!
+//! let link = WirelessLink::new(AccessTechnology::WiFi5GHz, Meters::new(10.0));
+//! let latency = link.transmission_latency(MegaBytes::new(0.5));
+//! assert!(latency.as_f64() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod handoff;
+pub mod link;
+pub mod mobility;
+pub mod pathloss;
+
+pub use handoff::{HandoffKind, HandoffModel};
+pub use link::{AccessTechnology, WirelessLink};
+pub use mobility::{CoverageZone, RandomWalkMobility};
+pub use pathloss::{FreeSpacePathLoss, LogDistancePathLoss, PathLoss};

@@ -1,0 +1,65 @@
+//! Offload planner: use the analytical framework the way a scheduler would —
+//! sweep devices, CNNs and execution targets, and pick the configuration that
+//! minimises energy subject to a latency budget, without running a single
+//! real experiment.
+//!
+//! ```text
+//! cargo run -p xr-examples --bin offload_planner
+//! ```
+
+use xr_core::{Scenario, XrPerformanceModel};
+use xr_devices::DeviceCatalog;
+use xr_types::{Error, ExecutionTarget};
+
+fn main() -> Result<(), Error> {
+    let model = XrPerformanceModel::published();
+    let latency_budget_ms = 800.0;
+
+    println!("=== Offload planner: minimise energy under a {latency_budget_ms:.0} ms latency budget ===");
+    println!(
+        "{:<6} {:<26} {:<8} {:>13} {:>13} {:>9}",
+        "device", "local CNN", "target", "latency (ms)", "energy (mJ)", "feasible"
+    );
+
+    let mut best: Option<(String, f64, f64)> = None;
+    let catalog = DeviceCatalog::table1();
+    for device in catalog.xr_clients() {
+        for cnn in ["MobileNetV1_240_Quant", "MobileNetV2_300_Float", "EfficientNet_Float"] {
+            for target in [ExecutionTarget::Local, ExecutionTarget::Remote] {
+                let scenario = Scenario::builder()
+                    .client_from_catalog(&device.name)?
+                    .local_cnn(cnn)?
+                    .frame_side(500.0)
+                    .execution(target)
+                    .build()?;
+                let report = model.analyze(&scenario)?;
+                let latency = report.latency_ms().as_f64();
+                let energy = report.energy_mj().as_f64();
+                let feasible = latency <= latency_budget_ms;
+                println!(
+                    "{:<6} {:<26} {:<8} {:>13.2} {:>13.2} {:>9}",
+                    device.name,
+                    cnn,
+                    target.to_string(),
+                    latency,
+                    energy,
+                    if feasible { "yes" } else { "no" }
+                );
+                if feasible {
+                    let label = format!("{} / {} / {}", device.name, cnn, target);
+                    if best.as_ref().is_none_or(|(_, _, e)| energy < *e) {
+                        best = Some((label, latency, energy));
+                    }
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((label, latency, energy)) => println!(
+            "\n-> best feasible configuration: {label} ({latency:.2} ms, {energy:.2} mJ per frame)"
+        ),
+        None => println!("\n-> no configuration meets the latency budget; relax it or add edge capacity"),
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: analyse one XR object-detection scenario with the proposed
+//! framework and print the per-segment latency/energy breakdown and the
+//! AoI/RoI of every sensor.
+//!
+//! ```text
+//! cargo run -p xr-examples --bin quickstart
+//! ```
+
+use xr_core::{Scenario, XrPerformanceModel};
+use xr_types::{Error, ExecutionTarget, Segment};
+
+fn main() -> Result<(), Error> {
+    // A OnePlus 8 Pro (XR2 in Table I) runs object detection at 30 fps on
+    // 500 px² frames and offloads inference to a Jetson AGX Xavier edge
+    // server over 5 GHz Wi-Fi.
+    let scenario = Scenario::builder()
+        .client_from_catalog("XR2")?
+        .frame_side(500.0)
+        .execution(ExecutionTarget::Remote)
+        .build()?;
+
+    let model = XrPerformanceModel::published();
+    let report = model.analyze(&scenario)?;
+
+    println!("=== xr-perf quickstart: remote inference on {} ===", scenario.client.name);
+    println!("\nPer-segment latency:");
+    for (segment, latency) in report.latency.iter() {
+        if latency.as_f64() > 0.0 {
+            println!("  {:<42} {:>9.2} ms", segment.to_string(), latency.as_f64() * 1e3);
+        }
+    }
+    println!("  {:<42} {:>9.2} ms", "END-TO-END (Eq. 1)", report.latency_ms().as_f64());
+
+    println!("\nPer-segment energy:");
+    for (segment, energy) in report.energy.iter() {
+        if energy.as_f64() > 0.0 {
+            println!("  {:<42} {:>9.2} mJ", segment.to_string(), energy.as_f64() * 1e3);
+        }
+    }
+    println!("  {:<42} {:>9.2} mJ", "base energy", report.energy.base().as_f64() * 1e3);
+    println!("  {:<42} {:>9.2} mJ", "thermal energy", report.energy.thermal().as_f64() * 1e3);
+    println!("  {:<42} {:>9.2} mJ", "TOTAL (Eq. 19)", report.energy_mj().as_f64());
+
+    println!("\nAge-of-Information per external sensor:");
+    for sensor in &report.aoi.sensors {
+        println!(
+            "  {:<20} generation {:>7.2} Hz | mean AoI {:>7.2} ms | RoI {:>5.2} ({})",
+            sensor.name,
+            sensor.generation_frequency.as_f64(),
+            sensor.average.as_f64() * 1e3,
+            sensor.roi,
+            if sensor.is_fresh() { "fresh" } else { "STALE" }
+        );
+    }
+
+    // How much of the end-to-end latency is the edge round trip?
+    let offload = report.latency.segment(Segment::RemoteInference)
+        + report.latency.segment(Segment::Transmission)
+        + report.latency.segment(Segment::FrameEncoding);
+    println!(
+        "\nOffload path (encode + uplink + edge inference): {:.2} ms of {:.2} ms total",
+        offload.as_f64() * 1e3,
+        report.latency_ms().as_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Sensor RoI tuning: the §VIII-C insight in practice. Given an XR
+//! application's end-to-end latency and update requirement, find the minimum
+//! information-generation frequency each external sensor needs so that its
+//! Relevance-of-Information stays at or above 1 (i.e. its data is never
+//! stale).
+//!
+//! ```text
+//! cargo run -p xr-examples --bin sensor_roi_tuning
+//! ```
+
+use xr_core::{AoiModel, LatencyModel, Scenario, SensorConfig};
+use xr_types::{Error, ExecutionTarget, Hertz, Meters};
+
+fn main() -> Result<(), Error> {
+    let latency_model = LatencyModel::published();
+    let aoi_model = AoiModel::published();
+
+    let scenario = Scenario::builder()
+        .client_from_catalog("XR2")?
+        .frame_side(500.0)
+        .execution(ExecutionTarget::Remote)
+        .updates_per_frame(6)
+        .build()?;
+    let total = latency_model.analyze(&scenario)?.total();
+    let required_hz = f64::from(scenario.updates_per_frame) / total.as_f64();
+
+    println!("=== Sensor RoI tuning ===");
+    println!(
+        "end-to-end latency {:.2} ms, {} updates per frame -> required frequency {:.1} Hz",
+        total.as_f64() * 1e3,
+        scenario.updates_per_frame,
+        required_hz
+    );
+    println!(
+        "\n{:>14} {:>12} {:>10} {:>8}",
+        "sensor rate", "mean AoI", "RoI", "fresh?"
+    );
+
+    // Sweep candidate generation frequencies for a 30 m away sensor and
+    // report the first one that keeps RoI >= 1.
+    let mut minimum_fresh: Option<f64> = None;
+    for freq in [5.0, 10.0, 20.0, 40.0, 60.0, 100.0, 150.0, 200.0, 400.0] {
+        let sensor = SensorConfig::new("candidate", Hertz::new(freq), Meters::new(30.0));
+        let result = aoi_model.analyze_sensor(
+            &sensor,
+            scenario.buffer.service_rate,
+            total,
+            scenario.updates_per_frame,
+        )?;
+        println!(
+            "{:>11.1} Hz {:>9.2} ms {:>10.3} {:>8}",
+            freq,
+            result.average.as_f64() * 1e3,
+            result.roi,
+            if result.is_fresh() { "yes" } else { "no" }
+        );
+        if result.is_fresh() && minimum_fresh.is_none() {
+            minimum_fresh = Some(freq);
+        }
+    }
+
+    match minimum_fresh {
+        Some(freq) => println!(
+            "\n-> the sensor must generate information at ≥ {freq:.0} Hz to keep RoI ≥ 1 \
+             (the paper's insight: sensors should follow the RoI)"
+        ),
+        None => println!("\n-> none of the candidate frequencies keeps the information fresh"),
+    }
+    Ok(())
+}

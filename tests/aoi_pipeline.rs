@@ -1,0 +1,96 @@
+//! Integration tests for the AoI/RoI pipeline: analytical model, event-driven
+//! ground truth, and the Fig. 4(e)/(f) experiments.
+
+use xr_core::{AoiModel, Scenario, SensorConfig, XrPerformanceModel};
+use xr_experiments::aoi_experiments::{aoi_over_time, roi_staircase, REQUEST_PERIOD_MS};
+use xr_experiments::ExperimentContext;
+use xr_testbed::AoiGroundTruth;
+use xr_types::{ExecutionTarget, Hertz, Meters, Seconds};
+
+#[test]
+fn fig4e_series_reproduce_the_paper_ordering() {
+    let ctx = ExperimentContext::quick(301).unwrap();
+    let sweep = aoi_over_time(&ctx).unwrap();
+    // The 200 Hz sensor stays flat; 100 Hz and 66.67 Hz grow, the slower one
+    // faster — exactly the ordering of Fig. 4(e).
+    let final_aoi: Vec<f64> = sweep
+        .series
+        .iter()
+        .map(|s| s.last().unwrap().proposed_ms)
+        .collect();
+    assert!(final_aoi[0] < final_aoi[1]);
+    assert!(final_aoi[1] < final_aoi[2]);
+    let first_aoi_200 = sweep.series[0].first().unwrap().proposed_ms;
+    let last_aoi_200 = sweep.series[0].last().unwrap().proposed_ms;
+    assert!((last_aoi_200 - first_aoi_200).abs() < 1.0, "200 Hz series must stay flat");
+    // Ground truth follows the same ordering.
+    let final_gt: Vec<f64> = sweep
+        .series
+        .iter()
+        .map(|s| s.last().unwrap().ground_truth_ms)
+        .collect();
+    assert!(final_gt[0] < final_gt[1] && final_gt[1] < final_gt[2]);
+}
+
+#[test]
+fn fig4f_staircase_steps_by_the_rate_mismatch() {
+    let ctx = ExperimentContext::quick(302).unwrap();
+    let staircase = roi_staircase(&ctx).unwrap();
+    // 100 Hz sensor vs 5 ms requests: the mismatch is 5 ms per update.
+    for window in staircase.windows(2) {
+        let step = window[1].aoi_ms - window[0].aoi_ms;
+        assert!((step - REQUEST_PERIOD_MS).abs() < 1.0, "step {step}");
+        assert!(window[1].roi < window[0].roi);
+    }
+}
+
+#[test]
+fn model_and_ground_truth_agree_for_a_vehicular_sensor_set() {
+    let model = AoiModel::published();
+    let request_period = Seconds::from_millis(10.0);
+    for (freq, distance) in [(200.0, 80.0), (50.0, 40.0), (20.0, 150.0)] {
+        let sensor = SensorConfig::new("s", Hertz::new(freq), Meters::new(distance));
+        let analytic = model
+            .sensor_series(&sensor, 2_000.0, request_period, 12)
+            .unwrap();
+        let measured =
+            AoiGroundTruth::simulate(&sensor, 2_000.0, request_period, 12, 0.02, 303).unwrap();
+        let analytic_mean =
+            analytic.iter().map(|a| a.as_f64()).sum::<f64>() / analytic.len() as f64;
+        let measured_mean = measured.mean().as_f64();
+        let denominator = analytic_mean.max(2e-3);
+        assert!(
+            (analytic_mean - measured_mean).abs() / denominator < 0.4,
+            "freq {freq}: analytic {analytic_mean} vs measured {measured_mean}"
+        );
+    }
+}
+
+#[test]
+fn full_framework_reports_roi_consistent_with_required_frequency() {
+    let model = XrPerformanceModel::published();
+    let scenario = Scenario::builder()
+        .execution(ExecutionTarget::Remote)
+        .updates_per_frame(6)
+        .build()
+        .unwrap();
+    let report = model.analyze(&scenario).unwrap();
+    let required = report.aoi.required_frequency.as_f64();
+    assert!(required > 0.0);
+    for sensor in &report.aoi.sensors {
+        // RoI is by definition processed frequency over required frequency.
+        let expected = sensor.processed_frequency.as_f64() / required;
+        assert!((sensor.roi - expected).abs() < 1e-9);
+    }
+    // The request period exposed by the report matches L_tot / N.
+    let expected_period = report.latency.total().as_f64() / 6.0;
+    assert!((report.aoi.request_period.as_f64() - expected_period).abs() < 1e-12);
+}
+
+#[test]
+fn saturating_the_buffer_is_reported_not_hidden() {
+    let model = AoiModel::published();
+    let sensor = SensorConfig::new("flood", Hertz::new(3_000.0), Meters::new(5.0));
+    let result = model.analyze_sensor(&sensor, 2_000.0, Seconds::from_millis(30.0), 6);
+    assert!(result.is_err(), "overload must surface as an error");
+}

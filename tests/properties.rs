@@ -1,0 +1,163 @@
+//! Property-based tests (proptest) over the framework's core invariants.
+
+use proptest::prelude::*;
+use xr_core::{LatencyModel, Scenario, XrPerformanceModel};
+use xr_queueing::MM1Queue;
+use xr_stats::{metrics, LinearRegression};
+use xr_types::{ExecutionTarget, GigaHertz, Hertz, Ratio, Segment};
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        300.0..700.0_f64,                    // frame size
+        1.0..3.2_f64,                        // CPU clock
+        0.0..1.0_f64,                        // CPU share
+        15.0..60.0_f64,                      // fps
+        prop::sample::select(vec![0u8, 1, 2]), // execution target
+        1u32..8,                             // updates per frame
+    )
+        .prop_map(|(size, clock, share, fps, target, updates)| {
+            let execution = match target {
+                0 => ExecutionTarget::Local,
+                1 => ExecutionTarget::Remote,
+                _ => ExecutionTarget::Split { client_share: 0.5 },
+            };
+            Scenario::builder()
+                .frame_side(size)
+                .cpu_clock(GigaHertz::new(clock))
+                .cpu_share(Ratio::new(share))
+                .frame_rate(Hertz::new(fps))
+                .updates_per_frame(updates)
+                .execution(execution)
+                .build()
+                .expect("generated scenario is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn latency_and_energy_are_finite_and_positive(scenario in scenario_strategy()) {
+        let model = XrPerformanceModel::published();
+        let report = model.analyze(&scenario).unwrap();
+        prop_assert!(report.latency.total().as_f64().is_finite());
+        prop_assert!(report.latency.total().as_f64() > 0.0);
+        prop_assert!(report.energy.total().as_f64().is_finite());
+        prop_assert!(report.energy.total().as_f64() > 0.0);
+        for (_, l) in report.latency.iter() {
+            prop_assert!(l.as_f64() >= 0.0);
+        }
+        for (_, e) in report.energy.iter() {
+            prop_assert!(e.as_f64() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gated_total_never_exceeds_sum_of_segments(scenario in scenario_strategy()) {
+        let model = LatencyModel::published();
+        let breakdown = model.analyze(&scenario).unwrap();
+        prop_assert!(breakdown.total() <= breakdown.sum_of_segments() + xr_types::Seconds::new(1e-12));
+    }
+
+    #[test]
+    fn local_and_remote_segments_are_mutually_exclusive(scenario in scenario_strategy()) {
+        let model = LatencyModel::published();
+        let breakdown = model.analyze(&scenario).unwrap();
+        match scenario.execution {
+            ExecutionTarget::Local => {
+                prop_assert_eq!(breakdown.segment(Segment::RemoteInference).as_f64(), 0.0);
+                prop_assert_eq!(breakdown.segment(Segment::Transmission).as_f64(), 0.0);
+            }
+            ExecutionTarget::Remote => {
+                prop_assert_eq!(breakdown.segment(Segment::LocalInference).as_f64(), 0.0);
+                prop_assert_eq!(breakdown.segment(Segment::FrameConversion).as_f64(), 0.0);
+            }
+            ExecutionTarget::Split { .. } => {
+                prop_assert!(breakdown.segment(Segment::LocalInference).as_f64() > 0.0);
+                prop_assert!(breakdown.segment(Segment::RemoteInference).as_f64() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_is_monotone_in_frame_size(
+        clock in 1.5..3.0_f64,
+        small in 300.0..480.0_f64,
+        delta in 50.0..200.0_f64,
+    ) {
+        let model = LatencyModel::published();
+        let build = |size: f64| {
+            Scenario::builder()
+                .frame_side(size)
+                .cpu_clock(GigaHertz::new(clock))
+                .execution(ExecutionTarget::Remote)
+                .build()
+                .unwrap()
+        };
+        let a = model.analyze(&build(small)).unwrap().total();
+        let b = model.analyze(&build(small + delta)).unwrap().total();
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn mm1_littles_law_and_stability(lambda in 0.1..500.0_f64, gap in 0.1..500.0_f64) {
+        let mu = lambda + gap;
+        let queue = MM1Queue::new(lambda, mu).unwrap();
+        prop_assert!(queue.utilization() < 1.0);
+        prop_assert!(queue.littles_law_residual().abs() < 1e-6);
+        prop_assert!(queue.mean_time_in_system().as_f64() >= 1.0 / mu - 1e-12);
+    }
+
+    #[test]
+    fn ols_recovers_linear_relations(
+        intercept in -50.0..50.0_f64,
+        slope in -10.0..10.0_f64,
+        n in 10usize..60,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 0.5]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x[0]).collect();
+        let fit = LinearRegression::new().fit(&xs, &ys).unwrap();
+        prop_assert!((fit.intercept() - intercept).abs() < 1e-6);
+        prop_assert!((fit.coefficients()[0] - slope).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_accuracy_is_bounded(
+        truth in prop::collection::vec(1.0..1_000.0_f64, 1..20),
+        noise in prop::collection::vec(-0.5..0.5_f64, 20),
+    ) {
+        let predicted: Vec<f64> = truth
+            .iter()
+            .zip(&noise)
+            .map(|(t, n)| t * (1.0 + n))
+            .collect();
+        let accuracy = metrics::normalized_accuracy(&truth, &predicted);
+        prop_assert!((0.0..=100.0).contains(&accuracy));
+        let perfect = metrics::normalized_accuracy(&truth, &truth);
+        prop_assert!((perfect - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_with_latency_for_fixed_power_profile(
+        size in 300.0..700.0_f64,
+        clock in 1.8..3.0_f64,
+    ) {
+        // For a fixed scenario, scaling every latency up cannot reduce energy.
+        let scenario = Scenario::builder()
+            .frame_side(size)
+            .cpu_clock(GigaHertz::new(clock))
+            .execution(ExecutionTarget::Local)
+            .build()
+            .unwrap();
+        let model = XrPerformanceModel::published();
+        let report = model.analyze(&scenario).unwrap();
+        let bigger = Scenario::builder()
+            .frame_side(size + 50.0)
+            .cpu_clock(GigaHertz::new(clock))
+            .execution(ExecutionTarget::Local)
+            .build()
+            .unwrap();
+        let bigger_report = model.analyze(&bigger).unwrap();
+        prop_assert!(bigger_report.energy.total() >= report.energy.total());
+    }
+}
