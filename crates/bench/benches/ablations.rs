@@ -1,4 +1,4 @@
-//! Ablation benchmarks for the design choices called out in DESIGN.md §5:
+//! Ablation benchmarks for the framework's modelling design choices:
 //! each ablation removes one modelling ingredient of the proposed framework
 //! and reports how far the prediction drifts from the ground truth, next to
 //! the runtime cost of the variant.
@@ -46,14 +46,23 @@ fn ablation_accuracy_report(c: &mut Criterion) {
         println!("ablation `{name}`: predicted {predicted:.4} s vs GT {gt:.4} s ({err:.2}% error)");
     };
     report("full", &LatencyModel::published());
-    report("no-memory-terms", &LatencyModel::published().without_memory_terms());
-    report("no-buffering", &LatencyModel::published().without_buffering());
+    report(
+        "no-memory-terms",
+        &LatencyModel::published().without_memory_terms(),
+    );
+    report(
+        "no-buffering",
+        &LatencyModel::published().without_buffering(),
+    );
 
     let mut group = c.benchmark_group("ablations/accuracy_report");
     group.sample_size(10);
     group.bench_function("evaluate_all_variants", |b| {
         b.iter(|| {
-            let full = LatencyModel::published().analyze(&scenario).unwrap().total();
+            let full = LatencyModel::published()
+                .analyze(&scenario)
+                .unwrap()
+                .total();
             let ablated = LatencyModel::published()
                 .without_memory_terms()
                 .analyze(&scenario)
@@ -91,5 +100,10 @@ fn aoi_queueing_variants(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, latency_model_variants, ablation_accuracy_report, aoi_queueing_variants);
+criterion_group!(
+    benches,
+    latency_model_variants,
+    ablation_accuracy_report,
+    aoi_queueing_variants
+);
 criterion_main!(benches);

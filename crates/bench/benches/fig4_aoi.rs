@@ -43,8 +43,12 @@ fn full_figures(c: &mut Criterion) {
     let ctx = bench_context();
     let mut group = c.benchmark_group("fig4_aoi/full_figures");
     group.sample_size(20);
-    group.bench_function("fig4e", |b| b.iter(|| black_box(aoi_over_time(&ctx).unwrap())));
-    group.bench_function("fig4f", |b| b.iter(|| black_box(roi_staircase(&ctx).unwrap())));
+    group.bench_function("fig4e", |b| {
+        b.iter(|| black_box(aoi_over_time(&ctx).unwrap()))
+    });
+    group.bench_function("fig4f", |b| {
+        b.iter(|| black_box(roi_staircase(&ctx).unwrap()))
+    });
     group.finish();
 }
 

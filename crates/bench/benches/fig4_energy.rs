@@ -13,13 +13,14 @@ fn analytic_energy(c: &mut Criterion) {
     let energy = EnergyModel::published();
     let mut group = c.benchmark_group("fig4_energy/analytic_per_frame");
     for &size in &FRAME_SIZES {
-        for (label, target) in [("local", ExecutionTarget::Local), ("remote", ExecutionTarget::Remote)] {
+        for (label, target) in [
+            ("local", ExecutionTarget::Local),
+            ("remote", ExecutionTarget::Remote),
+        ] {
             let scenario = bench_scenario(size, target);
-            group.bench_with_input(
-                BenchmarkId::new(label, size as u64),
-                &scenario,
-                |b, s| b.iter(|| black_box(energy.analyze(&latency, s).unwrap().total())),
-            );
+            group.bench_with_input(BenchmarkId::new(label, size as u64), &scenario, |b, s| {
+                b.iter(|| black_box(energy.analyze(&latency, s).unwrap().total()))
+            });
         }
     }
     group.finish();

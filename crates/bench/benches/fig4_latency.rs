@@ -13,13 +13,14 @@ fn analytic_latency(c: &mut Criterion) {
     let model = LatencyModel::published();
     let mut group = c.benchmark_group("fig4_latency/analytic_per_frame");
     for &size in &FRAME_SIZES {
-        for (label, target) in [("local", ExecutionTarget::Local), ("remote", ExecutionTarget::Remote)] {
+        for (label, target) in [
+            ("local", ExecutionTarget::Local),
+            ("remote", ExecutionTarget::Remote),
+        ] {
             let scenario = bench_scenario(size, target);
-            group.bench_with_input(
-                BenchmarkId::new(label, size as u64),
-                &scenario,
-                |b, s| b.iter(|| black_box(model.analyze(s).unwrap().total())),
-            );
+            group.bench_with_input(BenchmarkId::new(label, size as u64), &scenario, |b, s| {
+                b.iter(|| black_box(model.analyze(s).unwrap().total()))
+            });
         }
     }
     group.finish();

@@ -11,7 +11,10 @@ use xr_types::{ExecutionTarget, Seconds, Watts};
 fn frame_simulation(c: &mut Criterion) {
     let testbed = TestbedSimulator::new(3);
     let mut group = c.benchmark_group("testbed/simulate_frame");
-    for (label, target) in [("local", ExecutionTarget::Local), ("remote", ExecutionTarget::Remote)] {
+    for (label, target) in [
+        ("local", ExecutionTarget::Local),
+        ("remote", ExecutionTarget::Remote),
+    ] {
         let scenario = bench_scenario(500.0, target);
         group.bench_with_input(BenchmarkId::from_parameter(label), &scenario, |b, s| {
             b.iter(|| black_box(testbed.simulate_frame(s, 1).unwrap()))
@@ -40,7 +43,9 @@ fn queue_simulation(c: &mut Criterion) {
             BenchmarkId::from_parameter(customers),
             &customers,
             |b, &n| {
-                let sim = MM1Simulator::new(300.0, 1_000.0, 5).unwrap().with_warmup(100);
+                let sim = MM1Simulator::new(300.0, 1_000.0, 5)
+                    .unwrap()
+                    .with_warmup(100);
                 b.iter(|| black_box(sim.run(n).unwrap()))
             },
         );

@@ -1,7 +1,8 @@
 //! Shared fixtures for the Criterion benchmarks.
 //!
-//! Every bench target corresponds to a table/figure of the paper (see
-//! DESIGN.md §4) or to an ablation of a design choice (DESIGN.md §5). The
+//! Every bench target corresponds to a table/figure of the paper (see the
+//! artifact table in the top-level README) or to an ablation of a design
+//! choice. The
 //! benchmarks measure the cost of regenerating each artifact — the analytic
 //! evaluation itself is microseconds; the ground-truth simulation dominates.
 

@@ -1,0 +1,136 @@
+//! Offline stand-in for the `rand_distr` 0.4 crate.
+//!
+//! Provides the [`Distribution`] trait plus the [`Exp`] and [`Normal`]
+//! distributions used by the queueing and testbed simulators. Exponential
+//! sampling uses inversion; normal sampling uses Box–Muller (no cached
+//! second variate, which costs one extra uniform draw per sample but keeps
+//! the sampler stateless like the real crate's API).
+
+use rand::{FromRng, RngCore};
+
+/// Types that can produce samples of `T` from a random source.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by [`Exp::new`] for non-positive rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpError;
+
+impl core::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "rate (lambda) must be positive and finite")
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates the distribution; `lambda` must be positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpError`] if `lambda` is not a positive finite number.
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inversion: -ln(1 - U) / lambda, with U in [0, 1).
+        let u = f64::from_rng(rng);
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Error returned by [`Normal::new`] for invalid standard deviations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl core::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "standard deviation must be non-negative and finite")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution; `std_dev` must be non-negative and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] if `std_dev` is negative, NaN, or infinite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform; clamp u1 away from zero so ln stays finite.
+        let u1 = f64::from_rng(rng).max(f64::MIN_POSITIVE);
+        let u2 = f64::from_rng(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Distribution, Exp, Normal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_rejects_bad_rates() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Exp::new(2.5).is_ok());
+    }
+
+    #[test]
+    fn exp_mean_matches_one_over_lambda() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let exp = Exp::new(4.0).unwrap();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.25).abs() < 5e-3, "mean {mean} far from 0.25");
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let normal = Normal::new(3.0, 2.0).unwrap();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 3.0).abs() < 2e-2, "mean {mean} far from 3.0");
+        assert!((var - 4.0).abs() < 8e-2, "variance {var} far from 4.0");
+    }
+}

@@ -122,9 +122,7 @@ impl BaselineModel for FactModel {
         if raw_latency.is_positive() && observed_latency.is_positive() {
             self.latency_scale = observed_latency / raw_latency;
         }
-        let raw_energy = self.active_power.as_f64()
-            * raw_latency.as_f64()
-            * self.latency_scale;
+        let raw_energy = self.active_power.as_f64() * raw_latency.as_f64() * self.latency_scale;
         if raw_energy > 0.0 && observed_energy.is_positive() {
             self.energy_scale = observed_energy.as_f64() / raw_energy;
         }

@@ -275,8 +275,7 @@ mod tests {
         let total_latency = Seconds::from_millis(30.0);
         let report = model.analyze_sensor(&s, 2_000.0, total_latency, 6).unwrap();
         assert_eq!(report.per_update.len(), 6);
-        let manual_avg: f64 =
-            report.per_update.iter().map(|s| s.as_f64()).sum::<f64>() / 6.0;
+        let manual_avg: f64 = report.per_update.iter().map(|s| s.as_f64()).sum::<f64>() / 6.0;
         assert!((report.average.as_f64() - manual_avg).abs() < 1e-12);
         assert!((report.processed_frequency.as_f64() - 1.0 / manual_avg).abs() < 1e-6);
         let f_req = 6.0 / 0.030;
@@ -291,7 +290,9 @@ mod tests {
             .updates_per_frame(6)
             .build()
             .unwrap();
-        let report = model.analyze(&scenario, Seconds::from_millis(100.0)).unwrap();
+        let report = model
+            .analyze(&scenario, Seconds::from_millis(100.0))
+            .unwrap();
         assert_eq!(report.sensors.len(), 2);
         let fast = &report.sensors[0];
         let slow = &report.sensors[1];
@@ -329,7 +330,8 @@ mod tests {
     fn update_aoi_never_negative() {
         let s = sensor(1_000.0);
         for n in 1..=20 {
-            let aoi = AoiModel::update_aoi(&s, Seconds::from_millis(0.5), Seconds::from_millis(5.0), n);
+            let aoi =
+                AoiModel::update_aoi(&s, Seconds::from_millis(0.5), Seconds::from_millis(5.0), n);
             assert!(aoi.as_f64() >= 0.0);
         }
     }
@@ -342,7 +344,12 @@ mod tests {
         let report = model.analyze(&scenario, total).unwrap();
         for (cfg, result) in scenario.sensors.iter().zip(&report.sensors) {
             let standalone = model
-                .analyze_sensor(cfg, scenario.buffer.service_rate, total, scenario.updates_per_frame)
+                .analyze_sensor(
+                    cfg,
+                    scenario.buffer.service_rate,
+                    total,
+                    scenario.updates_per_frame,
+                )
                 .unwrap();
             assert_eq!(&standalone, result);
         }

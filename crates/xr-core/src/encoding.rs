@@ -118,9 +118,7 @@ impl EncodingLatencyModel {
     /// at zero.
     #[must_use]
     pub fn encoding_work(&self, config: &EncodingConfig, frame: &Frame) -> f64 {
-        self.model
-            .predict(&Self::features(config, frame))
-            .max(0.0)
+        self.model.predict(&Self::features(config, frame)).max(0.0)
     }
 
     /// The encoding latency of Eq. 10.
@@ -156,8 +154,8 @@ impl EncodingLatencyModel {
     ) -> Seconds {
         let work = self.encoding_work(config, frame);
         let encode_compute_ms = work / client_resource.max(f64::MIN_POSITIVE);
-        let decode_ms =
-            encode_compute_ms * client_resource * config.decode_discount / edge_resource.max(f64::MIN_POSITIVE);
+        let decode_ms = encode_compute_ms * client_resource * config.decode_discount
+            / edge_resource.max(f64::MIN_POSITIVE);
         Seconds::from_millis(decode_ms)
     }
 
@@ -194,7 +192,10 @@ mod tests {
         let model = EncodingLatencyModel::published();
         let config = EncodingConfig::default();
         let f = frame(500.0);
-        let expected = -574.36 - 7.71 * 30.0 + 142.61 * 1.0 + 53.38 * 5.0 + 1.43 * 500.0
+        let expected = -574.36 - 7.71 * 30.0
+            + 142.61 * 1.0
+            + 53.38 * 5.0
+            + 1.43 * 500.0
             + 163.65 * 30.0
             + 3.62 * 28.0;
         assert!((model.encoding_work(&config, &f) - expected).abs() < 1e-6);

@@ -6,9 +6,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use xr_devices::{CnnComplexityModel, ComputeResourceModel};
 use xr_queueing::MM1Queue;
-use xr_types::{
-    MegaBytes, Result, Seconds, Segment, SPEED_OF_LIGHT,
-};
+use xr_types::{MegaBytes, Result, Seconds, Segment, SPEED_OF_LIGHT};
 use xr_wireless::{CoverageZone, HandoffModel, RandomWalkMobility, WirelessLink};
 
 /// Size of the inference-result payload handed back to the renderer (bounding
@@ -34,7 +32,10 @@ impl LatencyBreakdown {
     /// participate in the scenario).
     #[must_use]
     pub fn segment(&self, segment: Segment) -> Seconds {
-        self.segments.get(&segment).copied().unwrap_or(Seconds::ZERO)
+        self.segments
+            .get(&segment)
+            .copied()
+            .unwrap_or(Seconds::ZERO)
     }
 
     /// The end-to-end latency `L_tot` of Eq. 1.
@@ -120,8 +121,9 @@ impl LatencyModel {
         self
     }
 
-    /// Disables the memory-bandwidth (`δ/m`) terms — the FACT-style ablation
-    /// of DESIGN.md.
+    /// Disables the memory-bandwidth (`δ/m`) terms — the FACT-style
+    /// ablation exercised by the `ablation_table` binary and the
+    /// `ablations` bench.
     #[must_use]
     pub fn without_memory_terms(mut self) -> Self {
         self.include_memory_terms = false;
@@ -206,8 +208,7 @@ impl LatencyModel {
             .sensors
             .iter()
             .map(|s| {
-                let per_update =
-                    s.generation_frequency.period() + (s.distance / SPEED_OF_LIGHT);
+                let per_update = s.generation_frequency.period() + (s.distance / SPEED_OF_LIGHT);
                 per_update * n
             })
             .fold(Seconds::ZERO, Seconds::max)
@@ -277,7 +278,6 @@ impl LatencyModel {
     /// have impacts on the latency") and the EPAM measurement study it builds
     /// on show the opposite, so this implementation treats `C_CNN` as a
     /// workload multiplier: `L_loc = ω_client·[s_f2·C_CNN/c_client + δ_f2/m]`.
-    /// DESIGN.md records this substitution.
     #[must_use]
     pub fn local_inference(&self, scenario: &Scenario) -> Seconds {
         let client_share = scenario.execution.client_share();
@@ -304,17 +304,12 @@ impl LatencyModel {
         let c_client = self.client_resource(scenario);
         let c_edge = self.edge_resource(scenario, server_index);
         let complexity = self.cnn_complexity.complexity(&scenario.remote_cnn);
-        let decode = self.encoding.decoding_latency(
-            &scenario.encoding,
-            &scenario.frame,
-            c_client,
-            c_edge,
-        );
+        let decode =
+            self.encoding
+                .decoding_latency(&scenario.encoding, &scenario.frame, c_client, c_edge);
         // `C_CNN` multiplies the workload; see the note on `local_inference`.
-        self.compute_term(
-            scenario.frame.encoded_size.as_f64() * complexity,
-            c_edge,
-        ) + self.memory_term(scenario.frame.encoded_data, server.memory_bandwidth)
+        self.compute_term(scenario.frame.encoded_size.as_f64() * complexity, c_edge)
+            + self.memory_term(scenario.frame.encoded_data, server.memory_bandwidth)
             + decode
     }
 
@@ -603,7 +598,12 @@ mod tests {
         assert!(b.segment(Segment::Transmission).as_f64() > 0.0);
         // Local inference is scaled by the 0.5 client share.
         let full_local = model
-            .analyze(&Scenario::builder().execution(ExecutionTarget::Local).build().unwrap())
+            .analyze(
+                &Scenario::builder()
+                    .execution(ExecutionTarget::Local)
+                    .build()
+                    .unwrap(),
+            )
             .unwrap()
             .segment(Segment::LocalInference);
         assert!(b.segment(Segment::LocalInference) < full_local);
@@ -679,7 +679,10 @@ mod tests {
     #[test]
     fn ablations_reduce_latency() {
         let scenario = remote_scenario(500.0, 2.5);
-        let full = LatencyModel::published().analyze(&scenario).unwrap().total();
+        let full = LatencyModel::published()
+            .analyze(&scenario)
+            .unwrap()
+            .total();
         let no_memory = LatencyModel::published()
             .without_memory_terms()
             .analyze(&scenario)

@@ -132,8 +132,9 @@ impl OffloadPlanner {
             .min_by(|a, b| {
                 let key = |c: &OffloadCandidate| match objective {
                     Objective::MinimizeLatency => c.latency.as_f64(),
-                    Objective::MinimizeEnergy
-                    | Objective::MinimizeEnergyUnderLatencyBudget(_) => c.energy.as_f64(),
+                    Objective::MinimizeEnergy | Objective::MinimizeEnergyUnderLatencyBudget(_) => {
+                        c.energy.as_f64()
+                    }
                 };
                 key(a)
                     .partial_cmp(&key(b))
@@ -182,7 +183,10 @@ mod tests {
     #[test]
     fn no_edge_servers_restricts_the_search_to_local() {
         let planner = OffloadPlanner::published();
-        let scenario = Scenario::builder().edge_servers(Vec::new()).build().unwrap();
+        let scenario = Scenario::builder()
+            .edge_servers(Vec::new())
+            .build()
+            .unwrap();
         let targets = planner.candidate_targets(&scenario);
         assert_eq!(targets, vec![ExecutionTarget::Local]);
         let plan = planner.plan(&scenario, Objective::MinimizeEnergy).unwrap();

@@ -13,8 +13,8 @@ use crate::encoding::EncodingConfig;
 use serde::{Deserialize, Serialize};
 use xr_devices::{CnnCatalog, CnnModel, DeviceCatalog};
 use xr_types::{
-    Error, ExecutionTarget, Frame, FrameId, GigaBytesPerSecond, GigaHertz, Hertz, MegaBitsPerSecond,
-    MegaBytes, Meters, MetersPerSecond, Ratio, Result, SegmentSet,
+    Error, ExecutionTarget, Frame, FrameId, GigaBytesPerSecond, GigaHertz, Hertz,
+    MegaBitsPerSecond, MegaBytes, Meters, MetersPerSecond, Ratio, Result, SegmentSet,
 };
 use xr_wireless::{AccessTechnology, HandoffKind};
 
@@ -265,10 +265,7 @@ impl Scenario {
             ));
         }
         if !self.frame.frame_rate.is_positive() {
-            return Err(Error::invalid_parameter(
-                "frame_rate",
-                "must be positive",
-            ));
+            return Err(Error::invalid_parameter("frame_rate", "must be positive"));
         }
         if !self.client.memory_bandwidth.is_positive() {
             return Err(Error::invalid_parameter(
@@ -575,7 +572,10 @@ mod tests {
 
     #[test]
     fn zero_updates_rejected() {
-        let err = Scenario::builder().updates_per_frame(0).build().unwrap_err();
+        let err = Scenario::builder()
+            .updates_per_frame(0)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, Error::InvalidParameter { .. }));
     }
 

@@ -330,8 +330,14 @@ mod tests {
 
     #[test]
     fn iteration_is_deterministic() {
-        let a: Vec<String> = DeviceCatalog::table1().iter().map(|d| d.name.clone()).collect();
-        let b: Vec<String> = DeviceCatalog::table1().iter().map(|d| d.name.clone()).collect();
+        let a: Vec<String> = DeviceCatalog::table1()
+            .iter()
+            .map(|d| d.name.clone())
+            .collect();
+        let b: Vec<String> = DeviceCatalog::table1()
+            .iter()
+            .map(|d| d.name.clone())
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -137,7 +137,8 @@ impl CnnCatalog {
     /// Never panics for the built-in catalog.
     #[must_use]
     pub fn default_remote(&self) -> &CnnModel {
-        self.model("YoloV3").expect("built-in catalog contains YoloV3")
+        self.model("YoloV3")
+            .expect("built-in catalog contains YoloV3")
     }
 
     /// Number of catalog entries.
@@ -165,11 +166,7 @@ impl CnnComplexityModel {
     #[must_use]
     pub fn published() -> Self {
         Self {
-            model: FittedLinearModel::from_coefficients(
-                2.45,
-                vec![0.0025, 0.03, 0.0029],
-                0.844,
-            ),
+            model: FittedLinearModel::from_coefficients(2.45, vec![0.0025, 0.03, 0.0029], 0.844),
         }
     }
 

@@ -66,15 +66,14 @@ impl ComputeResourceModel {
     /// # Errors
     ///
     /// Propagates regression errors (empty, ragged, or singular designs).
-    pub fn fit(
-        observations: &[(GigaHertz, GigaHertz, Ratio)],
-        resources: &[f64],
-    ) -> Result<Self> {
+    pub fn fit(observations: &[(GigaHertz, GigaHertz, Ratio)], resources: &[f64]) -> Result<Self> {
         let xs: Vec<Vec<f64>> = observations
             .iter()
             .map(|(fc, fg, wc)| Self::features(*fc, *fg, *wc))
             .collect();
-        let model = LinearRegression::new().without_intercept().fit(&xs, resources)?;
+        let model = LinearRegression::new()
+            .without_intercept()
+            .fit(&xs, resources)?;
         Ok(Self {
             model,
             edge_ratio: EDGE_CLIENT_COMPUTE_RATIO,

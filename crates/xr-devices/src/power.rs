@@ -52,7 +52,9 @@ impl MeanPowerModel {
             .iter()
             .map(|(fc, fg, wc)| Self::features(*fc, *fg, *wc))
             .collect();
-        let model = LinearRegression::new().without_intercept().fit(&xs, power_w)?;
+        let model = LinearRegression::new()
+            .without_intercept()
+            .fit(&xs, power_w)?;
         Ok(Self { model })
     }
 

@@ -1,5 +1,5 @@
-//! Ablation study over the design choices DESIGN.md §5 calls out: drop one
-//! modelling ingredient of the proposed latency model at a time and measure
+//! Ablation study over the framework's modelling ingredients: drop one
+//! ingredient of the proposed latency model at a time and measure
 //! how much accuracy it costs against the ground truth, over the same remote
 //! sweep as Fig. 4(b).
 
@@ -58,7 +58,10 @@ impl AblationStudy {
         };
         let variants: Vec<(String, LatencyModel)> = vec![
             ("full model".into(), base()),
-            ("without memory-bandwidth terms".into(), base().without_memory_terms()),
+            (
+                "without memory-bandwidth terms".into(),
+                base().without_memory_terms(),
+            ),
             ("without M/M/1 buffering".into(), base().without_buffering()),
             (
                 "published coefficients (no re-calibration)".into(),

@@ -62,7 +62,12 @@ impl AoiSweep {
             .flatten()
             .map(|p| p.ground_truth_ms)
             .collect();
-        let predicted: Vec<f64> = self.series.iter().flatten().map(|p| p.proposed_ms).collect();
+        let predicted: Vec<f64> = self
+            .series
+            .iter()
+            .flatten()
+            .map(|p| p.proposed_ms)
+            .collect();
         metrics::mean_absolute_error(&truth, &predicted)
     }
 
@@ -148,8 +153,7 @@ pub fn roi_staircase(_ctx: &ExperimentContext) -> Result<Vec<RoiPoint>> {
         let n = i as f64 + 1.0;
         // RoI up to this update: processed frequency (1 / mean AoI so far)
         // over the required frequency (1 / request period), Eqs. 25–26.
-        let mean_so_far: f64 =
-            series[..=i].iter().map(|a| a.as_f64()).sum::<f64>() / n;
+        let mean_so_far: f64 = series[..=i].iter().map(|a| a.as_f64()).sum::<f64>() / n;
         let processed = 1.0 / mean_so_far.max(f64::MIN_POSITIVE);
         let required = 1.0 / request_period.as_f64();
         points.push(RoiPoint {
@@ -179,7 +183,11 @@ mod tests {
         assert!(last(0) < last(1));
         assert!(last(1) < last(2));
         // Model tracks the simulated ground truth within a few ms on average.
-        assert!(sweep.mean_absolute_error_ms() < 5.0, "{}", sweep.mean_absolute_error_ms());
+        assert!(
+            sweep.mean_absolute_error_ms() < 5.0,
+            "{}",
+            sweep.mean_absolute_error_ms()
+        );
         assert!(!sweep.rows().is_empty());
     }
 
@@ -194,7 +202,10 @@ mod tests {
         assert!(staircase.last().unwrap().roi < staircase.first().unwrap().roi);
         assert!(staircase.last().unwrap().roi < 1.0);
         // The Fig. 4(f) annotations: AoI ≈ 10/15/20 ms at successive marks.
-        let steps: Vec<f64> = staircase.windows(2).map(|w| w[1].aoi_ms - w[0].aoi_ms).collect();
+        let steps: Vec<f64> = staircase
+            .windows(2)
+            .map(|w| w[1].aoi_ms - w[0].aoi_ms)
+            .collect();
         for step in steps {
             assert!((step - 5.0).abs() < 1.0, "step {step}");
         }

@@ -1,4 +1,5 @@
-//! Ablation study over the latency model's design choices (DESIGN.md §5).
+//! Ablation study over the latency model's design choices (see
+//! [`xr_experiments::ablation`]).
 
 use xr_experiments::ablation::AblationStudy;
 use xr_experiments::{output, ExperimentContext};

@@ -13,5 +13,8 @@ fn main() {
         &sweep.rows(),
         "fig4a.csv",
     );
-    println!("mean error: {:.2}% (paper: 2.74%)", sweep.mean_error_percent());
+    println!(
+        "mean error: {:.2}% (paper: 2.74%)",
+        sweep.mean_error_percent()
+    );
 }

@@ -13,5 +13,8 @@ fn main() {
         &sweep.rows(),
         "fig4b.csv",
     );
-    println!("mean error: {:.2}% (paper: 3.23%)", sweep.mean_error_percent());
+    println!(
+        "mean error: {:.2}% (paper: 3.23%)",
+        sweep.mean_error_percent()
+    );
 }

@@ -13,5 +13,8 @@ fn main() {
         &sweep.rows(),
         "fig4c.csv",
     );
-    println!("mean error: {:.2}% (paper: 3.52%)", sweep.mean_error_percent());
+    println!(
+        "mean error: {:.2}% (paper: 3.52%)",
+        sweep.mean_error_percent()
+    );
 }

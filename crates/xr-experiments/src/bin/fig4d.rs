@@ -13,5 +13,8 @@ fn main() {
         &sweep.rows(),
         "fig4d.csv",
     );
-    println!("mean error: {:.2}% (paper: 5.38%)", sweep.mean_error_percent());
+    println!(
+        "mean error: {:.2}% (paper: 5.38%)",
+        sweep.mean_error_percent()
+    );
 }

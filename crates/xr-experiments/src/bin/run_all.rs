@@ -24,10 +24,34 @@ fn main() {
     );
 
     let figures = [
-        ("Fig. 4(a) latency/local (ms)", ExecutionTarget::Local, true, "fig4a.csv", 2.74),
-        ("Fig. 4(b) latency/remote (ms)", ExecutionTarget::Remote, true, "fig4b.csv", 3.23),
-        ("Fig. 4(c) energy/local (mJ)", ExecutionTarget::Local, false, "fig4c.csv", 3.52),
-        ("Fig. 4(d) energy/remote (mJ)", ExecutionTarget::Remote, false, "fig4d.csv", 5.38),
+        (
+            "Fig. 4(a) latency/local (ms)",
+            ExecutionTarget::Local,
+            true,
+            "fig4a.csv",
+            2.74,
+        ),
+        (
+            "Fig. 4(b) latency/remote (ms)",
+            ExecutionTarget::Remote,
+            true,
+            "fig4b.csv",
+            3.23,
+        ),
+        (
+            "Fig. 4(c) energy/local (mJ)",
+            ExecutionTarget::Local,
+            false,
+            "fig4c.csv",
+            3.52,
+        ),
+        (
+            "Fig. 4(d) energy/remote (mJ)",
+            ExecutionTarget::Remote,
+            false,
+            "fig4d.csv",
+            5.38,
+        ),
     ];
     for (title, execution, is_latency, csv, paper_error) in figures {
         let sweep = if is_latency {
@@ -38,7 +62,13 @@ fn main() {
         .expect("sweep failed");
         output::print_experiment(
             title,
-            &["frame_size", "cpu_ghz", "ground_truth", "proposed", "error_%"],
+            &[
+                "frame_size",
+                "cpu_ghz",
+                "ground_truth",
+                "proposed",
+                "error_%",
+            ],
             &sweep.rows(),
             csv,
         );

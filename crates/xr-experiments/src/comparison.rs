@@ -59,7 +59,10 @@ impl ComparisonSweep {
     /// Normalized accuracy (%) of the proposed model over the sweep.
     #[must_use]
     pub fn proposed_accuracy(&self) -> f64 {
-        metrics::normalized_accuracy(&self.series(|p| p.ground_truth), &self.series(|p| p.proposed))
+        metrics::normalized_accuracy(
+            &self.series(|p| p.ground_truth),
+            &self.series(|p| p.proposed),
+        )
     }
 
     /// Normalized accuracy (%) of FACT over the sweep.

@@ -28,13 +28,11 @@ impl ErrorSummary {
     /// Propagates scenario and model errors.
     pub fn compute(ctx: &ExperimentContext) -> Result<Self> {
         Ok(Self {
-            latency_local_percent: latency_sweep(ctx, ExecutionTarget::Local)?
-                .mean_error_percent(),
+            latency_local_percent: latency_sweep(ctx, ExecutionTarget::Local)?.mean_error_percent(),
             latency_remote_percent: latency_sweep(ctx, ExecutionTarget::Remote)?
                 .mean_error_percent(),
             energy_local_percent: energy_sweep(ctx, ExecutionTarget::Local)?.mean_error_percent(),
-            energy_remote_percent: energy_sweep(ctx, ExecutionTarget::Remote)?
-                .mean_error_percent(),
+            energy_remote_percent: energy_sweep(ctx, ExecutionTarget::Remote)?.mean_error_percent(),
         })
     }
 

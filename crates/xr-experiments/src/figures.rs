@@ -182,7 +182,9 @@ mod tests {
             sweep
                 .points
                 .iter()
-                .find(|p| (p.cpu_clock_ghz - clock).abs() < 1e-9 && (p.frame_size - size).abs() < 1e-9)
+                .find(|p| {
+                    (p.cpu_clock_ghz - clock).abs() < 1e-9 && (p.frame_size - size).abs() < 1e-9
+                })
                 .copied()
                 .unwrap()
         };
@@ -196,7 +198,11 @@ mod tests {
         let sweep = energy_sweep(&ctx, ExecutionTarget::Remote).unwrap();
         assert_eq!(sweep.points.len(), 15);
         assert_eq!(sweep.metric, "energy");
-        assert!(sweep.mean_error_percent() < 20.0, "{}", sweep.mean_error_percent());
+        assert!(
+            sweep.mean_error_percent() < 20.0,
+            "{}",
+            sweep.mean_error_percent()
+        );
         assert_eq!(sweep.rows().len(), 15);
         assert_eq!(sweep.rows()[0].len(), 5);
     }

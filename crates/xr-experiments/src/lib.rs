@@ -15,8 +15,8 @@
 //! | Eqs. 3/10/12/21 regression fits | [`regression_report`] | `regression_report` |
 //!
 //! Each binary prints the rows/series the paper reports and writes a CSV
-//! artifact under `target/experiments/`. `run_all` chains everything and is
-//! the source of the numbers recorded in `EXPERIMENTS.md`.
+//! artifact under `target/experiments/`. `run_all` chains everything in
+//! one invocation.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -29,7 +29,16 @@ pub fn table1_rows() -> Vec<Vec<String>> {
 #[must_use]
 pub fn table1_header() -> Vec<&'static str> {
     vec![
-        "name", "model", "soc", "cpu_cores", "cpu_ghz", "gpu", "ram_gb", "mem_gbps", "os", "wifi",
+        "name",
+        "model",
+        "soc",
+        "cpu_cores",
+        "cpu_ghz",
+        "gpu",
+        "ram_gb",
+        "mem_gbps",
+        "os",
+        "wifi",
         "release",
     ]
 }

@@ -105,7 +105,10 @@ impl MM1Simulator {
             .map_err(|_| Error::invalid_parameter("service_rate", "rejected by Exp"))?;
 
         let mut events: EventQueue<QueueEvent> = EventQueue::new();
-        events.schedule_after(Seconds::new(interarrival.sample(&mut rng)), QueueEvent::Arrival);
+        events.schedule_after(
+            Seconds::new(interarrival.sample(&mut rng)),
+            QueueEvent::Arrival,
+        );
 
         // Queue of (arrival_time, service_time) for waiting customers; the
         // customer in service keeps its entry at the front.
@@ -184,15 +187,12 @@ mod tests {
     #[test]
     fn simulation_matches_analytic_sojourn_time() {
         let (lambda, mu) = (200.0, 1000.0);
-        let sim = MM1Simulator::new(lambda, mu, 7)
-            .unwrap()
-            .with_warmup(2_000);
+        let sim = MM1Simulator::new(lambda, mu, 7).unwrap().with_warmup(2_000);
         let report = sim.run(60_000).unwrap();
         let analytic = MM1Queue::new(lambda, mu).unwrap();
-        let rel_err = (report.mean_time_in_system.as_f64()
-            - analytic.mean_time_in_system().as_f64())
-        .abs()
-            / analytic.mean_time_in_system().as_f64();
+        let rel_err =
+            (report.mean_time_in_system.as_f64() - analytic.mean_time_in_system().as_f64()).abs()
+                / analytic.mean_time_in_system().as_f64();
         assert!(rel_err < 0.05, "relative error {rel_err}");
     }
 

@@ -111,7 +111,14 @@ impl fmt::Display for Summary {
         write!(
             f,
             "n={} mean={:.4} sd={:.4} min={:.4} p50={:.4} p95={:.4} p99={:.4} max={:.4}",
-            self.count, self.mean, self.std_dev, self.min, self.median, self.p95, self.p99, self.max
+            self.count,
+            self.mean,
+            self.std_dev,
+            self.min,
+            self.median,
+            self.p95,
+            self.p99,
+            self.max
         )
     }
 }

@@ -279,7 +279,9 @@ impl FittedLinearModel {
         };
         // x vector in design space (intercept first when present).
         let x: Vec<f64> = if self.fit_intercept {
-            std::iter::once(1.0).chain(features.iter().copied()).collect()
+            std::iter::once(1.0)
+                .chain(features.iter().copied())
+                .collect()
         } else {
             features.to_vec()
         };
@@ -383,7 +385,10 @@ mod tests {
         let (xs, ys) = noiseless_dataset();
         let fit = LinearRegression::new().fit(&xs, &ys).unwrap();
         let held_x = vec![vec![100.0, 3.0], vec![200.0, 1.0]];
-        let held_y: Vec<f64> = held_x.iter().map(|r| 1.5 + 2.0 * r[0] - 0.5 * r[1]).collect();
+        let held_y: Vec<f64> = held_x
+            .iter()
+            .map(|r| 1.5 + 2.0 * r[0] - 0.5 * r[1])
+            .collect();
         assert!(fit.score(&held_x, &held_y) > 0.999_999);
     }
 
@@ -397,8 +402,7 @@ mod tests {
     #[test]
     fn from_coefficients_predicts_directly() {
         // Eq. 12 of the paper: C_CNN = 2.45 + 0.0025·d + 0.03·s + 0.0029·scale
-        let model =
-            FittedLinearModel::from_coefficients(2.45, vec![0.0025, 0.03, 0.0029], 0.844);
+        let model = FittedLinearModel::from_coefficients(2.45, vec![0.0025, 0.03, 0.0029], 0.844);
         let c = model.predict(&[106.0, 210.0, 0.0]);
         assert!((c - (2.45 + 0.0025 * 106.0 + 0.03 * 210.0)).abs() < 1e-9);
         assert!((model.r_squared() - 0.844).abs() < 1e-12);
@@ -434,7 +438,10 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, i as f64]).collect();
         let ys: Vec<f64> = (0..30).map(|i| 2.0 * i as f64).collect();
         assert!(LinearRegression::new().fit(&xs, &ys).is_err());
-        let fit = LinearRegression::new().with_ridge(1e-6).fit(&xs, &ys).unwrap();
+        let fit = LinearRegression::new()
+            .with_ridge(1e-6)
+            .fit(&xs, &ys)
+            .unwrap();
         // Ridge splits the weight across the duplicated columns.
         let total: f64 = fit.coefficients().iter().sum();
         assert!((total - 2.0).abs() < 1e-3);

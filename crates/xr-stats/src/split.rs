@@ -32,12 +32,7 @@ impl TrainTestSplit {
     /// Returns [`Error::InvalidParameter`] if the inputs are empty, have
     /// mismatched lengths, if `train_fraction` is outside `(0, 1)`, or if the
     /// split would leave either side empty.
-    pub fn random(
-        xs: &[Vec<f64>],
-        ys: &[f64],
-        train_fraction: f64,
-        seed: u64,
-    ) -> Result<Self> {
+    pub fn random(xs: &[Vec<f64>], ys: &[f64], train_fraction: f64, seed: u64) -> Result<Self> {
         if xs.is_empty() || xs.len() != ys.len() {
             return Err(Error::invalid_parameter(
                 "xs/ys",

@@ -160,20 +160,17 @@ mod tests {
     #[test]
     fn ground_truth_tracks_analytic_model() {
         let model = AoiModel::published();
+        // 100 updates keeps the sample mean of the exponential sojourns well
+        // inside the tolerance band regardless of the RNG stream backing
+        // StdRng (10 updates was flaky across generator implementations).
         for freq in [200.0, 100.0, 66.67] {
             let s = sensor(freq);
             let analytic = model
-                .sensor_series(&s, 2_000.0, Seconds::from_millis(5.0), 10)
+                .sensor_series(&s, 2_000.0, Seconds::from_millis(5.0), 100)
                 .unwrap();
-            let measured = AoiGroundTruth::simulate(
-                &s,
-                2_000.0,
-                Seconds::from_millis(5.0),
-                10,
-                0.01,
-                7,
-            )
-            .unwrap();
+            let measured =
+                AoiGroundTruth::simulate(&s, 2_000.0, Seconds::from_millis(5.0), 100, 0.01, 7)
+                    .unwrap();
             let analytic_mean: f64 =
                 analytic.iter().map(|a| a.as_f64()).sum::<f64>() / analytic.len() as f64;
             let measured_mean = measured.mean().as_f64();
@@ -200,14 +197,18 @@ mod tests {
         let s = sensor(100.0);
         assert!(AoiGroundTruth::simulate(&s, 50.0, Seconds::from_millis(5.0), 5, 0.0, 1).is_err());
         assert!(AoiGroundTruth::simulate(&s, 2_000.0, Seconds::ZERO, 5, 0.0, 1).is_err());
-        assert!(AoiGroundTruth::simulate(&s, 2_000.0, Seconds::from_millis(5.0), 0, 0.0, 1).is_err());
+        assert!(
+            AoiGroundTruth::simulate(&s, 2_000.0, Seconds::from_millis(5.0), 0, 0.0, 1).is_err()
+        );
     }
 
     #[test]
     fn deterministic_per_seed() {
         let s = sensor(100.0);
-        let a = AoiGroundTruth::simulate(&s, 2_000.0, Seconds::from_millis(5.0), 8, 0.02, 5).unwrap();
-        let b = AoiGroundTruth::simulate(&s, 2_000.0, Seconds::from_millis(5.0), 8, 0.02, 5).unwrap();
+        let a =
+            AoiGroundTruth::simulate(&s, 2_000.0, Seconds::from_millis(5.0), 8, 0.02, 5).unwrap();
+        let b =
+            AoiGroundTruth::simulate(&s, 2_000.0, Seconds::from_millis(5.0), 8, 0.02, 5).unwrap();
         assert_eq!(a, b);
     }
 }

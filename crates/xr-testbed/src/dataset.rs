@@ -132,10 +132,15 @@ impl MeasurementCampaign {
     #[must_use]
     pub fn collect(&self, laws: &TrueLaws, devices: &[&str]) -> MeasurementDataset {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let noise = Normal::new(0.0, self.noise_sigma.max(f64::MIN_POSITIVE))
-            .expect("valid noise sigma");
-        let sample_noise =
-            |rng: &mut StdRng| -> f64 { if self.noise_sigma > 0.0 { noise.sample(rng).exp() } else { 1.0 } };
+        let noise =
+            Normal::new(0.0, self.noise_sigma.max(f64::MIN_POSITIVE)).expect("valid noise sigma");
+        let sample_noise = |rng: &mut StdRng| -> f64 {
+            if self.noise_sigma > 0.0 {
+                noise.sample(rng).exp()
+            } else {
+                1.0
+            }
+        };
 
         let catalog = DeviceCatalog::table1();
         let cnn_catalog = CnnCatalog::table2();
@@ -164,8 +169,7 @@ impl MeasurementCampaign {
             let fg = GigaHertz::new(rng.gen_range(0.3..=spec.gpu_clock.as_f64().max(0.35)));
             let wc = Ratio::new(rng.gen_range(0.0..=1.0));
             if i < n_resource {
-                let observed =
-                    laws.compute_resource(fc, fg, wc, bias) * sample_noise(&mut rng);
+                let observed = laws.compute_resource(fc, fg, wc, bias) * sample_noise(&mut rng);
                 dataset.resource_x.push((fc, fg, wc));
                 dataset.resource_y.push(observed);
             } else {
@@ -204,11 +208,9 @@ impl MeasurementCampaign {
         for _ in 0..n_complexity {
             let cnn = &cnns[rng.gen_range(0..cnns.len())];
             let observed = laws.cnn_complexity(cnn) * sample_noise(&mut rng);
-            dataset.complexity_x.push((
-                f64::from(cnn.depth),
-                cnn.size.as_f64(),
-                cnn.depth_scale,
-            ));
+            dataset
+                .complexity_x
+                .push((f64::from(cnn.depth), cnn.size.as_f64(), cnn.depth_scale));
             dataset.complexity_y.push(observed);
         }
 
@@ -299,8 +301,7 @@ impl CalibratedModels {
             .iter()
             .map(|(fc, fg, wc)| MeanPowerModel::features(*fc, *fg, *wc))
             .collect();
-        let encoding_feats: Vec<Vec<f64>> =
-            test.encoding_x.iter().map(|c| c.to_vec()).collect();
+        let encoding_feats: Vec<Vec<f64>> = test.encoding_x.iter().map(|c| c.to_vec()).collect();
         let complexity_feats: Vec<Vec<f64>> = test
             .complexity_x
             .iter()
@@ -330,8 +331,8 @@ mod tests {
 
     fn train_test() -> (MeasurementDataset, MeasurementDataset) {
         let laws = TrueLaws::standard();
-        let train = MeasurementCampaign::small(1)
-            .collect(&laws, &DeviceCatalog::training_devices());
+        let train =
+            MeasurementCampaign::small(1).collect(&laws, &DeviceCatalog::training_devices());
         let test = MeasurementCampaign::small(2)
             .with_target_records(1_500)
             .collect(&laws, &DeviceCatalog::validation_devices());
@@ -341,7 +342,11 @@ mod tests {
     #[test]
     fn campaign_collects_the_requested_volume() {
         let (train, test) = train_test();
-        assert!(train.len() >= 3_800 && train.len() <= 4_000, "{}", train.len());
+        assert!(
+            train.len() >= 3_800 && train.len() <= 4_000,
+            "{}",
+            train.len()
+        );
         assert!(test.len() >= 1_400 && test.len() <= 1_500);
         assert!(!train.is_empty());
         assert!(!train.resource_y.is_empty());
@@ -354,7 +359,10 @@ mod tests {
     fn paper_scale_matches_reported_counts() {
         let c = MeasurementCampaign::paper_scale(0);
         assert_eq!(c.target_records(), 119_465);
-        assert_eq!(MeasurementCampaign::paper_scale_test(0).target_records(), 36_083);
+        assert_eq!(
+            MeasurementCampaign::paper_scale_test(0).target_records(),
+            36_083
+        );
     }
 
     #[test]

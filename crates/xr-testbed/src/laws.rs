@@ -34,14 +34,46 @@ impl DeviceBias {
     #[must_use]
     pub fn for_device(name: &str) -> Self {
         match name {
-            "XR1" => Self { compute: 1.06, power: 0.97, encoding: 0.95 },
-            "XR2" => Self { compute: 1.02, power: 1.03, encoding: 1.04 },
-            "XR3" => Self { compute: 0.90, power: 1.05, encoding: 1.08 },
-            "XR4" => Self { compute: 0.92, power: 1.02, encoding: 1.05 },
-            "XR5" => Self { compute: 0.95, power: 0.98, encoding: 1.02 },
-            "XR6" => Self { compute: 1.04, power: 1.00, encoding: 0.97 },
-            "XR7" => Self { compute: 1.10, power: 0.95, encoding: 0.93 },
-            _ => Self { compute: 1.0, power: 1.0, encoding: 1.0 },
+            "XR1" => Self {
+                compute: 1.06,
+                power: 0.97,
+                encoding: 0.95,
+            },
+            "XR2" => Self {
+                compute: 1.02,
+                power: 1.03,
+                encoding: 1.04,
+            },
+            "XR3" => Self {
+                compute: 0.90,
+                power: 1.05,
+                encoding: 1.08,
+            },
+            "XR4" => Self {
+                compute: 0.92,
+                power: 1.02,
+                encoding: 1.05,
+            },
+            "XR5" => Self {
+                compute: 0.95,
+                power: 0.98,
+                encoding: 1.02,
+            },
+            "XR6" => Self {
+                compute: 1.04,
+                power: 1.00,
+                encoding: 0.97,
+            },
+            "XR7" => Self {
+                compute: 1.10,
+                power: 0.95,
+                encoding: 0.93,
+            },
+            _ => Self {
+                compute: 1.0,
+                power: 1.0,
+                encoding: 1.0,
+            },
         }
     }
 
@@ -122,19 +154,14 @@ impl TrueLaws {
     /// an encoder configuration. Includes a frame-size × quantisation
     /// interaction the paper's linear regression cannot represent.
     #[must_use]
-    pub fn encoding_work(
-        &self,
-        config: &EncodingConfig,
-        frame: &Frame,
-        bias: DeviceBias,
-    ) -> f64 {
+    pub fn encoding_work(&self, config: &EncodingConfig, frame: &Frame, bias: DeviceBias) -> f64 {
         let s = frame.raw_size.as_f64();
         let fps = frame.frame_rate.as_f64();
-        let base = 1.5 * s + 150.0 * fps + 48.0 * config.bitrate_mbps
-            + 130.0 * config.b_frame_interval
-            - 6.5 * config.i_frame_interval
-            + 3.2 * config.quantization
-            + 0.000_28 * s * config.quantization;
+        let base =
+            1.5 * s + 150.0 * fps + 48.0 * config.bitrate_mbps + 130.0 * config.b_frame_interval
+                - 6.5 * config.i_frame_interval
+                + 3.2 * config.quantization
+                + 0.000_28 * s * config.quantization;
         (base * bias.encoding).max(50.0)
     }
 
@@ -211,8 +238,18 @@ mod tests {
     #[test]
     fn device_bias_shifts_devices_apart() {
         let laws = TrueLaws::standard();
-        let xr1 = laws.compute_resource(ghz(2.0), ghz(0.6), Ratio::ONE, DeviceBias::for_device("XR1"));
-        let xr3 = laws.compute_resource(ghz(2.0), ghz(0.6), Ratio::ONE, DeviceBias::for_device("XR3"));
+        let xr1 = laws.compute_resource(
+            ghz(2.0),
+            ghz(0.6),
+            Ratio::ONE,
+            DeviceBias::for_device("XR1"),
+        );
+        let xr3 = laws.compute_resource(
+            ghz(2.0),
+            ghz(0.6),
+            Ratio::ONE,
+            DeviceBias::for_device("XR3"),
+        );
         assert!(xr1 > xr3);
         assert_eq!(DeviceBias::for_device("unknown"), DeviceBias::neutral());
         assert_eq!(DeviceBias::default(), DeviceBias::neutral());
@@ -225,7 +262,9 @@ mod tests {
         let config = EncodingConfig::default();
         let small = Frame::from_resolution(FrameId::new(1), 300.0, Hertz::new(30.0));
         let large = Frame::from_resolution(FrameId::new(1), 700.0, Hertz::new(30.0));
-        assert!(laws.encoding_work(&config, &large, bias) > laws.encoding_work(&config, &small, bias));
+        assert!(
+            laws.encoding_work(&config, &large, bias) > laws.encoding_work(&config, &small, bias)
+        );
         let high_bitrate = EncodingConfig {
             bitrate_mbps: 20.0,
             ..EncodingConfig::default()

@@ -126,12 +126,7 @@ impl PowerMonitor {
     /// `(nominal power, duration)` phases, adding `baseline` (the base power
     /// that is always drawn) to every sample.
     #[must_use]
-    pub fn record(
-        &self,
-        phases: &[(Watts, Seconds)],
-        baseline: Watts,
-        seed: u64,
-    ) -> PowerTrace {
+    pub fn record(&self, phases: &[(Watts, Seconds)], baseline: Watts, seed: u64) -> PowerTrace {
         let mut rng = StdRng::seed_from_u64(seed);
         let noise = Normal::new(1.0, self.noise_fraction.max(f64::MIN_POSITIVE))
             .expect("valid normal distribution");

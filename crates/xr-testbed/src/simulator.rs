@@ -16,9 +16,7 @@ use std::collections::BTreeMap;
 use xr_core::Scenario;
 use xr_devices::DeviceCatalog;
 use xr_stats::Summary;
-use xr_types::{
-    Joules, Ratio, Result, Seconds, Segment, Watts, SPEED_OF_LIGHT,
-};
+use xr_types::{Joules, Ratio, Result, Seconds, Segment, Watts, SPEED_OF_LIGHT};
 use xr_wireless::{CoverageZone, HandoffKind, RandomWalkMobility, WirelessLink};
 
 /// Ground-truth measurements for one frame.
@@ -70,7 +68,10 @@ impl GroundTruthSession {
             return Seconds::ZERO;
         }
         Seconds::new(
-            self.frames.iter().map(|f| f.total_latency.as_f64()).sum::<f64>()
+            self.frames
+                .iter()
+                .map(|f| f.total_latency.as_f64())
+                .sum::<f64>()
                 / self.frames.len() as f64,
         )
     }
@@ -82,7 +83,10 @@ impl GroundTruthSession {
             return Joules::ZERO;
         }
         Joules::new(
-            self.frames.iter().map(|f| f.total_energy.as_f64()).sum::<f64>()
+            self.frames
+                .iter()
+                .map(|f| f.total_energy.as_f64())
+                .sum::<f64>()
                 / self.frames.len() as f64,
         )
     }
@@ -132,8 +136,7 @@ impl GroundTruthSession {
         if self.frames.is_empty() {
             return 0.0;
         }
-        self.frames.iter().filter(|f| f.handoff_occurred).count() as f64
-            / self.frames.len() as f64
+        self.frames.iter().filter(|f| f.handoff_occurred).count() as f64 / self.frames.len() as f64
     }
 }
 
@@ -235,17 +238,22 @@ impl TestbedSimulator {
     /// # Errors
     ///
     /// Returns scenario-validation errors.
-    pub fn simulate_frame(&self, scenario: &Scenario, frame_index: u64) -> Result<GroundTruthFrame> {
+    pub fn simulate_frame(
+        &self,
+        scenario: &Scenario,
+        frame_index: u64,
+    ) -> Result<GroundTruthFrame> {
         scenario.validate()?;
-        let mut rng = StdRng::seed_from_u64(self.seed ^ frame_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ frame_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
         let bias = DeviceBias::for_device(&scenario.client.name);
         let client = &scenario.client;
         let frame = &scenario.frame;
         let memory = client.memory_bandwidth;
-        let c_true = self
-            .laws
-            .compute_resource(client.cpu_clock, client.gpu_clock, client.cpu_share, bias);
+        let c_true =
+            self.laws
+                .compute_resource(client.cpu_clock, client.gpu_clock, client.cpu_share, bias);
 
         let uses_local = scenario.execution.uses_client();
         let uses_edge = scenario.execution.uses_edge();
@@ -353,8 +361,7 @@ impl TestbedSimulator {
                 } else {
                     0.0
                 };
-                let decode =
-                    Self::ms(encode_work * self.laws.decode_discount(), c_edge);
+                let decode = Self::ms(encode_work * self.laws.decode_discount(), c_edge);
                 let infer = Self::ms(frame.encoded_size.as_f64() * remote_complexity, c_edge)
                     + frame.encoded_data / server.memory_bandwidth
                     + decode;
@@ -586,13 +593,19 @@ mod tests {
         let remote = testbed
             .simulate_frame(&scenario(500.0, 2.5, ExecutionTarget::Remote), 1)
             .unwrap();
-        assert_eq!(remote.segment_latency(Segment::LocalInference), Seconds::ZERO);
+        assert_eq!(
+            remote.segment_latency(Segment::LocalInference),
+            Seconds::ZERO
+        );
         assert!(remote.segment_latency(Segment::RemoteInference).as_f64() > 0.0);
         assert!(remote.segment_latency(Segment::Transmission).as_f64() > 0.0);
         let local = testbed
             .simulate_frame(&scenario(500.0, 2.5, ExecutionTarget::Local), 1)
             .unwrap();
-        assert_eq!(local.segment_latency(Segment::RemoteInference), Seconds::ZERO);
+        assert_eq!(
+            local.segment_latency(Segment::RemoteInference),
+            Seconds::ZERO
+        );
         assert!(local.segment_latency(Segment::LocalInference).as_f64() > 0.0);
         assert!(local.segment_energy(Segment::LocalInference).as_f64() > 0.0);
     }
@@ -617,7 +630,10 @@ mod tests {
         let gt = testbed.simulate_session(&s, 40).unwrap().mean_latency();
         let predicted = model.analyze(&s).unwrap().total();
         let rel = (gt.as_f64() - predicted.as_f64()).abs() / gt.as_f64();
-        assert!(rel < 0.5, "relative gap {rel} too large (gt {gt}, model {predicted})");
+        assert!(
+            rel < 0.5,
+            "relative gap {rel} too large (gt {gt}, model {predicted})"
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use frame::{Frame, FrameStream};
 pub use ids::{DeviceId, EdgeServerId, FrameId, SensorId};
 pub use segment::{ExecutionTarget, Segment, SegmentSet};
 pub use units::{
-    Bytes, Celsius, GigaBytesPerSecond, GigaHertz, Hertz, Joules, MegaBytes, MegaBitsPerSecond,
+    Bytes, Celsius, GigaBytesPerSecond, GigaHertz, Hertz, Joules, MegaBitsPerSecond, MegaBytes,
     Meters, MetersPerSecond, MilliJoules, MilliSeconds, MilliWatts, PixelsSquared, Ratio, Seconds,
     Watts, SPEED_OF_LIGHT,
 };

@@ -343,7 +343,10 @@ mod tests {
     fn omega_loc_matches_paper_semantics() {
         assert_eq!(ExecutionTarget::Local.omega_loc(), 1.0);
         assert_eq!(ExecutionTarget::Remote.omega_loc(), 0.0);
-        assert_eq!(ExecutionTarget::Split { client_share: 0.5 }.omega_loc(), 0.0);
+        assert_eq!(
+            ExecutionTarget::Split { client_share: 0.5 }.omega_loc(),
+            0.0
+        );
         assert!(ExecutionTarget::Remote.uses_edge());
         assert!(!ExecutionTarget::Remote.uses_client());
         assert!(ExecutionTarget::Local.uses_client());

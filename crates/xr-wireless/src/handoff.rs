@@ -2,8 +2,8 @@
 //!
 //! The paper computes the average handoff latency during a frame's processing
 //! time as `L_HO = l_HO · P(HO)`, with `l_HO` taken from 802.11 mobile-IP
-//! fast-handoff measurements [50] for horizontal handoffs and from integrated
-//! WLAN/UMTS analyses [51] for vertical handoffs.
+//! fast-handoff measurements \[50\] for horizontal handoffs and from integrated
+//! WLAN/UMTS analyses \[51\] for vertical handoffs.
 
 use crate::link::AccessTechnology;
 use crate::mobility::RandomWalkMobility;
@@ -30,8 +30,8 @@ pub struct HandoffModel {
 impl HandoffModel {
     /// Default latencies drawn from the literature the paper cites:
     /// ≈ 65 ms for an 802.11 horizontal handoff (scan + re-association +
-    /// mobile-IP binding update, [50]) and ≈ 1.2 s for a vertical
-    /// WLAN↔cellular handoff ([51]).
+    /// mobile-IP binding update, \[50\]) and ≈ 1.2 s for a vertical
+    /// WLAN↔cellular handoff (\[51\]).
     #[must_use]
     pub fn literature_defaults() -> Self {
         Self {
@@ -180,7 +180,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "handoff probability must lie in [0, 1]")]
     fn out_of_range_probability_rejected() {
-        let _ = HandoffModel::default().expected_latency_with_probability(HandoffKind::Horizontal, 1.5);
+        let _ =
+            HandoffModel::default().expected_latency_with_probability(HandoffKind::Horizontal, 1.5);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! * the available throughput `r_w` of the access link (Eq. 16),
 //! * the handoff probability `P(HO)` of a mobile XR device under a random
 //!   walk mobility model and the handoff latency `l_HO` for horizontal and
-//!   vertical handoffs (Eq. 17, following refs. [49]–[51]),
+//!   vertical handoffs (Eq. 17, following refs. \[49\]–\[51\]),
 //! * optionally, path-loss models, which the paper explicitly leaves out of
 //!   its defaults ("We assume that there are no path loss, shadowing, or
 //!   fading effects … which can be incorporated into the model according to

@@ -13,7 +13,7 @@ pub enum AccessTechnology {
     WiFi2_4GHz,
     /// 802.11ac/ax on the 5 GHz band (the testbed's primary link).
     WiFi5GHz,
-    /// 802.11ad 60 GHz (used in the related-work discussion of [37]).
+    /// 802.11ad 60 GHz (used in the related-work discussion of \[37\]).
     WiGig60GHz,
     /// LTE cellular, the vertical-handoff target in Section IV.
     Lte,
@@ -108,10 +108,7 @@ impl WirelessLink {
     /// Panics if the throughput is not strictly positive.
     #[must_use]
     pub fn with_throughput(mut self, throughput: MegaBitsPerSecond) -> Self {
-        assert!(
-            throughput.is_positive(),
-            "link throughput must be positive"
-        );
+        assert!(throughput.is_positive(), "link throughput must be positive");
         self.throughput = throughput;
         self
     }
@@ -198,15 +195,22 @@ mod tests {
     fn propagation_delay_scales_with_distance() {
         let near = WirelessLink::new(AccessTechnology::Lte, Meters::new(100.0));
         let far = near.with_distance(Meters::new(1000.0));
-        assert!((far.propagation_delay().as_f64() / near.propagation_delay().as_f64() - 10.0).abs() < 1e-9);
+        assert!(
+            (far.propagation_delay().as_f64() / near.propagation_delay().as_f64() - 10.0).abs()
+                < 1e-9
+        );
         assert_eq!(far.technology(), AccessTechnology::Lte);
     }
 
     #[test]
     fn technology_catalog_is_sensible() {
-        assert!(AccessTechnology::WiFi5GHz.nominal_throughput()
-            > AccessTechnology::WiFi2_4GHz.nominal_throughput());
-        assert!(AccessTechnology::Lte.coverage_radius() > AccessTechnology::WiFi5GHz.coverage_radius());
+        assert!(
+            AccessTechnology::WiFi5GHz.nominal_throughput()
+                > AccessTechnology::WiFi2_4GHz.nominal_throughput()
+        );
+        assert!(
+            AccessTechnology::Lte.coverage_radius() > AccessTechnology::WiFi5GHz.coverage_radius()
+        );
         assert!(AccessTechnology::WiFi5GHz.is_wifi());
         assert!(!AccessTechnology::Lte.is_wifi());
         assert!(AccessTechnology::WiFi5GHz.same_family(AccessTechnology::WiFi2_4GHz));

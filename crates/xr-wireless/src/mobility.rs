@@ -2,7 +2,7 @@
 //!
 //! The paper models XR-device mobility with a random walk and derives the
 //! handoff probability `P(HO)` "using methods in existing papers such as
-//! [49]" (a location-register residence-time analysis). We implement a
+//! \[49\]" (a location-register residence-time analysis). We implement a
 //! two-dimensional random walk inside a circular coverage zone and expose
 //! both the analytic boundary-crossing probability per frame interval and a
 //! Monte-Carlo trajectory generator used by the testbed simulator.
@@ -142,7 +142,9 @@ impl RandomWalkMobility {
     pub fn simulate_handoff_probability(&self, window: Seconds, trials: usize, seed: u64) -> f64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let radius = self.zone.radius.as_f64();
-        let steps = (window.as_f64() / self.step_interval.as_f64()).ceil().max(1.0) as usize;
+        let steps = (window.as_f64() / self.step_interval.as_f64())
+            .ceil()
+            .max(1.0) as usize;
         let step_len = self.speed.as_f64() * self.step_interval.as_f64();
         let mut crossings = 0usize;
         for _ in 0..trials {

@@ -16,12 +16,18 @@ fn main() -> Result<(), Error> {
     let model = XrPerformanceModel::published();
 
     println!("=== Multiplayer VR on Meta Quest 2 (XR6), cooperation included in totals ===");
-    println!("{:<34} {:>14} {:>14}", "execution", "latency (ms)", "energy (mJ)");
+    println!(
+        "{:<34} {:>14} {:>14}",
+        "execution", "latency (ms)", "energy (mJ)"
+    );
 
     let targets = [
         ("local (on-device MobileNetV2)", ExecutionTarget::Local),
         ("remote (single edge, YOLOv3)", ExecutionTarget::Remote),
-        ("split 30% device / 70% edge", ExecutionTarget::Split { client_share: 0.3 }),
+        (
+            "split 30% device / 70% edge",
+            ExecutionTarget::Split { client_share: 0.3 },
+        ),
     ];
     for (label, target) in targets {
         let scenario = vr_scenario(target, false)?;

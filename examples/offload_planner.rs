@@ -15,7 +15,9 @@ fn main() -> Result<(), Error> {
     let model = XrPerformanceModel::published();
     let latency_budget_ms = 800.0;
 
-    println!("=== Offload planner: minimise energy under a {latency_budget_ms:.0} ms latency budget ===");
+    println!(
+        "=== Offload planner: minimise energy under a {latency_budget_ms:.0} ms latency budget ==="
+    );
     println!(
         "{:<6} {:<26} {:<8} {:>13} {:>13} {:>9}",
         "device", "local CNN", "target", "latency (ms)", "energy (mJ)", "feasible"
@@ -24,7 +26,11 @@ fn main() -> Result<(), Error> {
     let mut best: Option<(String, f64, f64)> = None;
     let catalog = DeviceCatalog::table1();
     for device in catalog.xr_clients() {
-        for cnn in ["MobileNetV1_240_Quant", "MobileNetV2_300_Float", "EfficientNet_Float"] {
+        for cnn in [
+            "MobileNetV1_240_Quant",
+            "MobileNetV2_300_Float",
+            "EfficientNet_Float",
+        ] {
             for target in [ExecutionTarget::Local, ExecutionTarget::Remote] {
                 let scenario = Scenario::builder()
                     .client_from_catalog(&device.name)?
@@ -59,7 +65,9 @@ fn main() -> Result<(), Error> {
         Some((label, latency, energy)) => println!(
             "\n-> best feasible configuration: {label} ({latency:.2} ms, {energy:.2} mJ per frame)"
         ),
-        None => println!("\n-> no configuration meets the latency budget; relax it or add edge capacity"),
+        None => println!(
+            "\n-> no configuration meets the latency budget; relax it or add edge capacity"
+        ),
     }
     Ok(())
 }

@@ -22,24 +22,51 @@ fn main() -> Result<(), Error> {
     let model = XrPerformanceModel::published();
     let report = model.analyze(&scenario)?;
 
-    println!("=== xr-perf quickstart: remote inference on {} ===", scenario.client.name);
+    println!(
+        "=== xr-perf quickstart: remote inference on {} ===",
+        scenario.client.name
+    );
     println!("\nPer-segment latency:");
     for (segment, latency) in report.latency.iter() {
         if latency.as_f64() > 0.0 {
-            println!("  {:<42} {:>9.2} ms", segment.to_string(), latency.as_f64() * 1e3);
+            println!(
+                "  {:<42} {:>9.2} ms",
+                segment.to_string(),
+                latency.as_f64() * 1e3
+            );
         }
     }
-    println!("  {:<42} {:>9.2} ms", "END-TO-END (Eq. 1)", report.latency_ms().as_f64());
+    println!(
+        "  {:<42} {:>9.2} ms",
+        "END-TO-END (Eq. 1)",
+        report.latency_ms().as_f64()
+    );
 
     println!("\nPer-segment energy:");
     for (segment, energy) in report.energy.iter() {
         if energy.as_f64() > 0.0 {
-            println!("  {:<42} {:>9.2} mJ", segment.to_string(), energy.as_f64() * 1e3);
+            println!(
+                "  {:<42} {:>9.2} mJ",
+                segment.to_string(),
+                energy.as_f64() * 1e3
+            );
         }
     }
-    println!("  {:<42} {:>9.2} mJ", "base energy", report.energy.base().as_f64() * 1e3);
-    println!("  {:<42} {:>9.2} mJ", "thermal energy", report.energy.thermal().as_f64() * 1e3);
-    println!("  {:<42} {:>9.2} mJ", "TOTAL (Eq. 19)", report.energy_mj().as_f64());
+    println!(
+        "  {:<42} {:>9.2} mJ",
+        "base energy",
+        report.energy.base().as_f64() * 1e3
+    );
+    println!(
+        "  {:<42} {:>9.2} mJ",
+        "thermal energy",
+        report.energy.thermal().as_f64() * 1e3
+    );
+    println!(
+        "  {:<42} {:>9.2} mJ",
+        "TOTAL (Eq. 19)",
+        report.energy_mj().as_f64()
+    );
 
     println!("\nAge-of-Information per external sensor:");
     for sensor in &report.aoi.sensors {

@@ -16,7 +16,10 @@ fn main() -> Result<(), Error> {
     let latency_budget_ms = 900.0;
 
     println!("=== Vehicular AR: latency vs vehicle speed (remote inference, vertical handoff) ===");
-    println!("{:>12} {:>14} {:>14} {:>10}", "speed (m/s)", "latency (ms)", "handoff (ms)", "budget");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "speed (m/s)", "latency (ms)", "handoff (ms)", "budget"
+    );
 
     for speed in [0.0, 5.0, 10.0, 15.0, 20.0, 30.0] {
         let scenario = vehicular_scenario(speed)?;
@@ -25,7 +28,11 @@ fn main() -> Result<(), Error> {
         let handoff = report.latency.segment(Segment::Handoff).as_f64() * 1e3;
         println!(
             "{speed:>12.1} {total:>14.2} {handoff:>14.2} {:>10}",
-            if total <= latency_budget_ms { "OK" } else { "MISSED" }
+            if total <= latency_budget_ms {
+                "OK"
+            } else {
+                "MISSED"
+            }
         );
     }
 
@@ -40,7 +47,11 @@ fn main() -> Result<(), Error> {
             sensor.generation_frequency.as_f64(),
             sensor.average.as_f64() * 1e3,
             sensor.roi,
-            if sensor.is_fresh() { "" } else { "<- increase generation rate" }
+            if sensor.is_fresh() {
+                ""
+            } else {
+                "<- increase generation rate"
+            }
         );
     }
     Ok(())

@@ -22,7 +22,10 @@ fn fig4e_series_reproduce_the_paper_ordering() {
     assert!(final_aoi[1] < final_aoi[2]);
     let first_aoi_200 = sweep.series[0].first().unwrap().proposed_ms;
     let last_aoi_200 = sweep.series[0].last().unwrap().proposed_ms;
-    assert!((last_aoi_200 - first_aoi_200).abs() < 1.0, "200 Hz series must stay flat");
+    assert!(
+        (last_aoi_200 - first_aoi_200).abs() < 1.0,
+        "200 Hz series must stay flat"
+    );
     // Ground truth follows the same ordering.
     let final_gt: Vec<f64> = sweep
         .series

@@ -4,7 +4,7 @@
 use xr_baselines::{BaselineModel, FactModel, LeafModel};
 use xr_experiments::comparison::{comparison_sweep, Metric};
 use xr_experiments::ExperimentContext;
-use xr_integration_tests::evaluation_scenario;
+use xr_integration::evaluation_scenario;
 use xr_types::ExecutionTarget;
 
 #[test]
@@ -20,7 +20,10 @@ fn proposed_model_wins_on_both_metrics() {
             "{metric:?}: proposed {proposed:.2}% vs FACT {fact:.2}% vs LEAF {leaf:.2}%"
         );
         // The proposed model stays strong in absolute terms too.
-        assert!(proposed > 80.0, "{metric:?}: proposed accuracy {proposed:.2}%");
+        assert!(
+            proposed > 80.0,
+            "{metric:?}: proposed accuracy {proposed:.2}%"
+        );
     }
 }
 

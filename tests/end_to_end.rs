@@ -3,7 +3,7 @@
 
 use xr_core::{Scenario, XrPerformanceModel};
 use xr_devices::{CnnCatalog, DeviceCatalog};
-use xr_integration_tests::evaluation_scenario;
+use xr_integration::evaluation_scenario;
 use xr_types::{ExecutionTarget, Segment};
 
 #[test]
@@ -49,7 +49,10 @@ fn every_on_device_cnn_is_analysable() {
             .build()
             .unwrap();
         let report = model.analyze(&scenario).unwrap();
-        latencies.push((cnn.name.clone(), report.latency.segment(Segment::LocalInference)));
+        latencies.push((
+            cnn.name.clone(),
+            report.latency.segment(Segment::LocalInference),
+        ));
     }
     assert_eq!(latencies.len(), 9);
     // Heavier networks must never be faster than the lightest quantised one.
@@ -59,7 +62,10 @@ fn every_on_device_cnn_is_analysable() {
         .unwrap()
         .1;
     for (name, latency) in &latencies {
-        assert!(*latency >= lightest * 0.99, "{name} faster than the lightest model");
+        assert!(
+            *latency >= lightest * 0.99,
+            "{name} faster than the lightest model"
+        );
     }
 }
 

@@ -3,7 +3,7 @@
 
 use xr_experiments::figures::{energy_sweep, latency_sweep};
 use xr_experiments::ExperimentContext;
-use xr_integration_tests::evaluation_scenario;
+use xr_integration::evaluation_scenario;
 use xr_testbed::TestbedSimulator;
 use xr_types::ExecutionTarget;
 
@@ -35,12 +35,17 @@ fn ground_truth_and_model_agree_on_the_clock_frequency_ordering() {
             sweep
                 .points
                 .iter()
-                .find(|p| (p.cpu_clock_ghz - clock).abs() < 1e-9 && (p.frame_size - size).abs() < 1e-9)
+                .find(|p| {
+                    (p.cpu_clock_ghz - clock).abs() < 1e-9 && (p.frame_size - size).abs() < 1e-9
+                })
                 .copied()
                 .unwrap()
         };
         let (one, three) = (at(1.0), at(3.0));
-        assert!(one.ground_truth > three.ground_truth, "GT ordering at {size}");
+        assert!(
+            one.ground_truth > three.ground_truth,
+            "GT ordering at {size}"
+        );
         assert!(one.proposed > three.proposed, "model ordering at {size}");
     }
 }
@@ -91,7 +96,13 @@ fn regression_refit_beats_published_coefficients_on_the_simulated_testbed() {
         .unwrap()
         .mean_latency()
         .as_f64();
-    let calibrated = ctx.proposed().analyze(&scenario).unwrap().latency.total().as_f64();
+    let calibrated = ctx
+        .proposed()
+        .analyze(&scenario)
+        .unwrap()
+        .latency
+        .total()
+        .as_f64();
     let published = xr_core::XrPerformanceModel::published()
         .analyze(&scenario)
         .unwrap()

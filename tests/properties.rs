@@ -8,12 +8,12 @@ use xr_types::{ExecutionTarget, GigaHertz, Hertz, Ratio, Segment};
 
 fn scenario_strategy() -> impl Strategy<Value = Scenario> {
     (
-        300.0..700.0_f64,                    // frame size
-        1.0..3.2_f64,                        // CPU clock
-        0.0..1.0_f64,                        // CPU share
-        15.0..60.0_f64,                      // fps
+        300.0..700.0_f64,                      // frame size
+        1.0..3.2_f64,                          // CPU clock
+        0.0..1.0_f64,                          // CPU share
+        15.0..60.0_f64,                        // fps
         prop::sample::select(vec![0u8, 1, 2]), // execution target
-        1u32..8,                             // updates per frame
+        1u32..8,                               // updates per frame
     )
         .prop_map(|(size, clock, share, fps, target, updates)| {
             let execution = match target {
