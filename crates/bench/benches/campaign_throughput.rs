@@ -1,0 +1,44 @@
+//! Campaign-engine throughput: the same five-axis quick campaign executed
+//! with 1 worker vs N workers. The engine's determinism contract means the
+//! two configurations must produce bit-identical rows — asserted here before
+//! any timing — so the bench measures pure scheduling gain. On multi-core
+//! hosts the N-worker run should approach N× throughput; on a single core
+//! the two configurations time alike (the sequential fast path avoids
+//! thread overhead entirely).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xr_experiments::campaign::{quick_grid, run_campaign_with};
+use xr_experiments::ExperimentContext;
+use xr_sweep::CampaignRunner;
+
+const PARALLEL_WORKERS: usize = 4;
+
+fn campaign_throughput(c: &mut Criterion) {
+    let ctx = ExperimentContext::quick(2024).expect("context");
+    let grid = quick_grid();
+
+    // Determinism gate: the parallel campaign must be bit-identical to the
+    // sequential reference before its speed means anything.
+    let sequential = run_campaign_with(&ctx, &grid, &CampaignRunner::new(1)).expect("campaign");
+    let parallel =
+        run_campaign_with(&ctx, &grid, &CampaignRunner::new(PARALLEL_WORKERS)).expect("campaign");
+    assert_eq!(
+        sequential, parallel,
+        "parallel campaign diverged from the sequential reference"
+    );
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    group.bench_function("workers/1", |b| {
+        let runner = CampaignRunner::new(1);
+        b.iter(|| black_box(run_campaign_with(&ctx, &grid, &runner).expect("campaign")))
+    });
+    group.bench_function(format!("workers/{PARALLEL_WORKERS}"), |b| {
+        let runner = CampaignRunner::new(PARALLEL_WORKERS);
+        b.iter(|| black_box(run_campaign_with(&ctx, &grid, &runner).expect("campaign")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, campaign_throughput);
+criterion_main!(benches);

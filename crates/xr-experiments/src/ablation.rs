@@ -7,6 +7,7 @@ use crate::context::ExperimentContext;
 use serde::{Deserialize, Serialize};
 use xr_core::LatencyModel;
 use xr_stats::metrics;
+use xr_sweep::SweepGrid;
 use xr_types::{ExecutionTarget, Result};
 
 /// One ablated model variant and its accuracy against ground truth.
@@ -35,17 +36,17 @@ impl AblationStudy {
     ///
     /// Propagates scenario and model errors.
     pub fn run(ctx: &ExperimentContext) -> Result<Self> {
-        // Ground truth over the frame-size sweep at 2 GHz, remote inference.
-        let mut ground_truth = Vec::new();
-        let mut scenarios = Vec::new();
-        for &size in &ExperimentContext::FRAME_SIZES {
-            let scenario = ctx.scenario(size, 2.0, ExecutionTarget::Remote)?;
+        // Ground truth over the frame-size sweep at 2 GHz, remote inference —
+        // one campaign on the shared engine.
+        let grid = SweepGrid::paper_panel(ExecutionTarget::Remote).with_cpu_clocks([2.0]);
+        let measured = ctx.runner().run(&grid.points()?, |_, point| {
+            let scenario = ctx.scenario_for(point)?;
             let session = ctx
                 .testbed()
                 .simulate_session(&scenario, ctx.frames_per_point())?;
-            ground_truth.push(session.mean_latency().as_f64() * 1e3);
-            scenarios.push(scenario);
-        }
+            Ok((session.mean_latency().as_f64() * 1e3, scenario))
+        })?;
+        let (ground_truth, scenarios): (Vec<f64>, Vec<_>) = measured.into_iter().unzip();
 
         // The calibrated latency model is the reference; each ablation strips
         // one ingredient from it.

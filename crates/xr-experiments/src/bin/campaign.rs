@@ -1,0 +1,28 @@
+//! The consolidated campaign binary: sweeps the full five-axis quick grid
+//! (frame size × CPU clock × execution target × device × wireless condition)
+//! through the parallel campaign engine and writes one row per operating
+//! point to `campaign.csv`.
+//!
+//! The CSV is bit-identical for every worker count (`XR_SWEEP_WORKERS`); CI
+//! runs this binary twice with different counts and diffs the artifacts.
+
+use xr_experiments::campaign::{quick_grid, run_campaign, CAMPAIGN_HEADER};
+use xr_experiments::{output, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let grid = quick_grid();
+    let rows = run_campaign(&ctx, &grid).expect("campaign failed");
+    let cells: Vec<Vec<String>> = rows.iter().map(|r| r.cells()).collect();
+    output::print_experiment(
+        "Consolidated campaign — five-axis sweep",
+        &CAMPAIGN_HEADER,
+        &cells,
+        "campaign.csv",
+    );
+    println!(
+        "{} operating points evaluated with {} worker(s)",
+        rows.len(),
+        ctx.runner().workers()
+    );
+}

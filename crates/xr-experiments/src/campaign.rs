@@ -1,0 +1,218 @@
+//! Consolidated measurement campaigns over the full five-axis sweep grid.
+//!
+//! Where the `figures`/`comparison` modules regenerate individual paper
+//! panels, a *campaign* sweeps every axis the engine knows about — frame
+//! size, CPU clock, execution target, client device, wireless condition —
+//! and emits one consolidated row per operating point. The `campaign`
+//! binary drives [`quick_grid`] and is also the CI determinism probe: run
+//! twice with different `XR_SWEEP_WORKERS`, the CSVs must be identical.
+
+use crate::context::ExperimentContext;
+use serde::{Deserialize, Serialize};
+use xr_sweep::{CampaignRunner, OperatingPoint, SweepGrid, WirelessCondition};
+use xr_types::{ExecutionTarget, Result};
+
+/// Column header of the consolidated campaign CSV.
+pub const CAMPAIGN_HEADER: [&str; 10] = [
+    "point",
+    "device",
+    "wireless",
+    "execution",
+    "cpu_ghz",
+    "frame_size",
+    "gt_latency_ms",
+    "proposed_latency_ms",
+    "gt_energy_mj",
+    "proposed_energy_mj",
+];
+
+/// One consolidated campaign measurement: the operating point plus ground
+/// truth and proposed-model predictions for both metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignRow {
+    /// The operating point this row measures.
+    pub point: OperatingPoint,
+    /// Ground-truth mean end-to-end latency (ms).
+    pub gt_latency_ms: f64,
+    /// Proposed-model latency prediction (ms).
+    pub proposed_latency_ms: f64,
+    /// Ground-truth mean per-frame energy (mJ).
+    pub gt_energy_mj: f64,
+    /// Proposed-model energy prediction (mJ).
+    pub proposed_energy_mj: f64,
+}
+
+impl CampaignRow {
+    /// The row formatted for the CSV/console output layer.
+    #[must_use]
+    pub fn cells(&self) -> Vec<String> {
+        let execution = match self.point.execution {
+            ExecutionTarget::Local => "local".to_string(),
+            ExecutionTarget::Remote => "remote".to_string(),
+            ExecutionTarget::Split { client_share } => format!("split{client_share:.2}"),
+        };
+        vec![
+            self.point.index.to_string(),
+            self.point.device.clone(),
+            self.point.wireless.label.clone(),
+            execution,
+            format!("{:.1}", self.point.cpu_clock_ghz),
+            format!("{:.0}", self.point.frame_size),
+            format!("{:.3}", self.gt_latency_ms),
+            format!("{:.3}", self.proposed_latency_ms),
+            format!("{:.3}", self.gt_energy_mj),
+            format!("{:.3}", self.proposed_energy_mj),
+        ]
+    }
+}
+
+/// The quick consolidated grid the `campaign` binary sweeps: a scenario
+/// spread no single figure covers — two client devices, local and remote
+/// execution, and a degraded cell-edge link next to the nominal one.
+#[must_use]
+pub fn quick_grid() -> SweepGrid {
+    // Every axis of the starting panel is replaced below, so its execution
+    // target carries no meaning here; `paper_panel` is just the only grid
+    // constructor.
+    SweepGrid::paper_panel(ExecutionTarget::Remote)
+        .with_frame_sizes([300.0, 500.0, 700.0])
+        .with_cpu_clocks([1.0, 3.0])
+        .with_executions([ExecutionTarget::Local, ExecutionTarget::Remote])
+        .with_devices(vec!["XR2".to_string(), "XR3".to_string()])
+        .with_wireless(vec![
+            WirelessCondition::baseline(),
+            WirelessCondition::new("cell-edge", Some(60.0), Some(40.0)),
+        ])
+}
+
+/// Runs a campaign over `grid`, streaming rows **in point order** into
+/// `sink` as they complete (the engine's hold-back collector guarantees the
+/// order regardless of worker count).
+///
+/// # Errors
+///
+/// Propagates grid, scenario and model errors.
+pub fn run_campaign_streaming(
+    ctx: &ExperimentContext,
+    grid: &SweepGrid,
+    sink: impl FnMut(usize, CampaignRow) + Send,
+) -> Result<()> {
+    run_campaign_streaming_with(ctx, grid, &ctx.runner(), sink)
+}
+
+/// [`run_campaign_streaming`] with an explicit runner — the entry point for
+/// benchmarks and determinism tests that pin the worker count.
+///
+/// # Errors
+///
+/// Propagates grid, scenario and model errors.
+pub fn run_campaign_streaming_with(
+    ctx: &ExperimentContext,
+    grid: &SweepGrid,
+    runner: &CampaignRunner,
+    sink: impl FnMut(usize, CampaignRow) + Send,
+) -> Result<()> {
+    let points = grid.points()?;
+    runner.run_streaming(
+        &points,
+        |_, point: &OperatingPoint| {
+            let scenario = ctx.scenario_for(point)?;
+            let session = ctx
+                .testbed()
+                .simulate_session(&scenario, ctx.frames_per_point())?;
+            let report = ctx.proposed().analyze(&scenario)?;
+            Ok(CampaignRow {
+                point: point.clone(),
+                gt_latency_ms: session.mean_latency().as_f64() * 1e3,
+                proposed_latency_ms: report.latency_ms().as_f64(),
+                gt_energy_mj: session.mean_energy().as_f64() * 1e3,
+                proposed_energy_mj: report.energy_mj().as_f64(),
+            })
+        },
+        sink,
+    )
+}
+
+/// Runs a campaign over `grid` and returns every row in point order.
+///
+/// # Errors
+///
+/// Propagates grid, scenario and model errors.
+pub fn run_campaign(ctx: &ExperimentContext, grid: &SweepGrid) -> Result<Vec<CampaignRow>> {
+    run_campaign_with(ctx, grid, &ctx.runner())
+}
+
+/// [`run_campaign`] with an explicit runner.
+///
+/// # Errors
+///
+/// Propagates grid, scenario and model errors.
+pub fn run_campaign_with(
+    ctx: &ExperimentContext,
+    grid: &SweepGrid,
+    runner: &CampaignRunner,
+) -> Result<Vec<CampaignRow>> {
+    let mut rows = Vec::new();
+    run_campaign_streaming_with(ctx, grid, runner, |_, row| rows.push(row))?;
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_campaign_covers_every_axis_in_order() {
+        let ctx = ExperimentContext::quick(17).unwrap();
+        let grid = quick_grid();
+        let rows = run_campaign(&ctx, &grid).unwrap();
+        assert_eq!(rows.len(), grid.len());
+        assert_eq!(rows.len(), 48); // 3 sizes × 2 clocks × 2 targets × 2 devices × 2 links
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.point.index, i);
+            assert!(row.gt_latency_ms > 0.0);
+            assert!(row.proposed_latency_ms > 0.0);
+            assert!(row.gt_energy_mj > 0.0);
+            assert_eq!(row.cells().len(), CAMPAIGN_HEADER.len());
+        }
+        let devices: std::collections::BTreeSet<&str> =
+            rows.iter().map(|r| r.point.device.as_str()).collect();
+        assert_eq!(devices.len(), 2);
+        let links: std::collections::BTreeSet<&str> = rows
+            .iter()
+            .map(|r| r.point.wireless.label.as_str())
+            .collect();
+        assert_eq!(links.len(), 2);
+    }
+
+    #[test]
+    fn degraded_link_slows_remote_frames_only() {
+        let ctx = ExperimentContext::quick(18).unwrap();
+        let grid = quick_grid();
+        let rows = run_campaign(&ctx, &grid).unwrap();
+        // Pair rows that differ only in the wireless condition.
+        let find = |device: &str, wireless: &str, execution, clock: f64, size: f64| {
+            rows.iter()
+                .find(|r| {
+                    r.point.device == device
+                        && r.point.wireless.label == wireless
+                        && r.point.execution == execution
+                        && (r.point.cpu_clock_ghz - clock).abs() < 1e-9
+                        && (r.point.frame_size - size).abs() < 1e-9
+                })
+                .expect("row exists")
+        };
+        let nominal = find("XR2", "baseline", ExecutionTarget::Remote, 3.0, 500.0);
+        let degraded = find("XR2", "cell-edge", ExecutionTarget::Remote, 3.0, 500.0);
+        assert!(
+            degraded.gt_latency_ms > nominal.gt_latency_ms,
+            "cell-edge {} vs baseline {}",
+            degraded.gt_latency_ms,
+            nominal.gt_latency_ms
+        );
+        // Local execution never touches the link, so the condition is inert.
+        let local_a = find("XR2", "baseline", ExecutionTarget::Local, 3.0, 500.0);
+        let local_b = find("XR2", "cell-edge", ExecutionTarget::Local, 3.0, 500.0);
+        assert!((local_a.gt_latency_ms - local_b.gt_latency_ms).abs() < 1e-9);
+    }
+}

@@ -5,6 +5,7 @@ use crate::context::ExperimentContext;
 use serde::{Deserialize, Serialize};
 use xr_baselines::{BaselineModel, FactModel, LeafModel};
 use xr_stats::metrics;
+use xr_sweep::SweepGrid;
 use xr_types::{ExecutionTarget, Joules, Result, Seconds};
 
 /// Which quantity Fig. 5 compares.
@@ -136,9 +137,11 @@ pub fn comparison_sweep(ctx: &ExperimentContext, metric: Metric) -> Result<Compa
     fact.calibrate(&reference, observed_latency, observed_energy)?;
     leaf.calibrate(&reference, observed_latency, observed_energy)?;
 
-    let mut points = Vec::new();
-    for &size in &ExperimentContext::FRAME_SIZES {
-        let scenario = ctx.scenario(size, clock, ExecutionTarget::Remote)?;
+    // The Fig. 5 sweep is a single-clock campaign over the frame-size axis,
+    // driven by the shared engine once the baselines are calibrated.
+    let grid = SweepGrid::paper_panel(ExecutionTarget::Remote).with_cpu_clocks([clock]);
+    let points = ctx.runner().run(&grid.points()?, |_, point| {
+        let scenario = ctx.scenario_for(point)?;
         let session = ctx
             .testbed()
             .simulate_session(&scenario, ctx.frames_per_point())?;
@@ -157,14 +160,14 @@ pub fn comparison_sweep(ctx: &ExperimentContext, metric: Metric) -> Result<Compa
                 to_mj(leaf.predict_energy(&scenario)?),
             ),
         };
-        points.push(ComparisonPoint {
-            frame_size: size,
+        Ok(ComparisonPoint {
+            frame_size: point.frame_size,
             ground_truth,
             proposed,
             fact: fact_value,
             leaf: leaf_value,
-        });
-    }
+        })
+    })?;
     Ok(ComparisonSweep { metric, points })
 }
 

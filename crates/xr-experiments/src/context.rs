@@ -3,8 +3,9 @@
 
 use xr_core::{Scenario, XrPerformanceModel};
 use xr_devices::DeviceCatalog;
+use xr_sweep::{grid, CampaignRunner, OperatingPoint, WirelessCondition};
 use xr_testbed::{CalibratedModels, MeasurementCampaign, TestbedSimulator};
-use xr_types::{ExecutionTarget, GigaHertz, Result};
+use xr_types::{ExecutionTarget, GigaHertz, MegaBitsPerSecond, Meters, Result};
 
 /// Everything an experiment needs: the ground-truth simulator, the calibrated
 /// proposed model, and the sweep bookkeeping.
@@ -18,10 +19,11 @@ pub struct ExperimentContext {
 }
 
 impl ExperimentContext {
-    /// The frame sizes swept in Figs. 4–5 (the paper's x-axis).
-    pub const FRAME_SIZES: [f64; 5] = [300.0, 400.0, 500.0, 600.0, 700.0];
+    /// The frame sizes swept in Figs. 4–5 (the paper's x-axis; the canonical
+    /// definition lives in `xr-sweep`, the campaign engine).
+    pub const FRAME_SIZES: [f64; 5] = grid::PAPER_FRAME_SIZES;
     /// The CPU clocks swept in Fig. 4 (GHz).
-    pub const CPU_CLOCKS: [f64; 3] = [1.0, 2.0, 3.0];
+    pub const CPU_CLOCKS: [f64; 3] = grid::PAPER_CPU_CLOCKS;
 
     /// A fast context suitable for tests and benches: a small measurement
     /// campaign and 20 ground-truth frames per operating point.
@@ -128,12 +130,56 @@ impl ExperimentContext {
         cpu_clock_ghz: f64,
         execution: ExecutionTarget,
     ) -> Result<Scenario> {
-        Scenario::builder()
-            .client_from_catalog("XR2")?
-            .frame_side(frame_size)
-            .cpu_clock(GigaHertz::new(cpu_clock_ghz))
-            .execution(execution)
-            .build()
+        self.scenario_for(&OperatingPoint {
+            index: 0,
+            frame_size,
+            cpu_clock_ghz,
+            execution,
+            device: grid::PAPER_EVAL_DEVICE.to_string(),
+            wireless: WirelessCondition::baseline(),
+        })
+    }
+
+    /// Builds the evaluation scenario for one operating point of a campaign
+    /// grid: the point's client device, frame size, CPU clock and execution
+    /// target, with the point's wireless condition applied to the scenario's
+    /// own edge servers — a condition overrides only the fields it names, so
+    /// every non-baseline point stays pairwise comparable with its baseline
+    /// twin. The baseline wireless condition applies no overrides at all.
+    ///
+    /// # Errors
+    ///
+    /// Propagates catalog-lookup and scenario-validation errors.
+    pub fn scenario_for(&self, point: &OperatingPoint) -> Result<Scenario> {
+        let mut scenario = Scenario::builder()
+            .client_from_catalog(&point.device)?
+            .frame_side(point.frame_size)
+            .cpu_clock(GigaHertz::new(point.cpu_clock_ghz))
+            .execution(point.execution)
+            .build()?;
+        for server in &mut scenario.edge_servers {
+            if let Some(distance) = point.wireless.distance_m {
+                server.distance = Meters::new(distance);
+            }
+            if let Some(throughput) = point.wireless.throughput_mbps {
+                server.throughput = Some(MegaBitsPerSecond::new(throughput));
+            }
+        }
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// The campaign runner every experiment drives: worker count from
+    /// `XR_SWEEP_WORKERS` (default: available parallelism). Results are
+    /// bit-identical for any worker count: the current experiment closures
+    /// are deterministic per point because [`TestbedSimulator`] seeds every
+    /// frame from its own seed, independent of evaluation order. The
+    /// runner's per-point seeds (derived from this context's seed, exposed
+    /// via `PointContext::seed`) are there for *stochastic* evaluations —
+    /// consume them instead of any shared RNG to keep that property.
+    #[must_use]
+    pub fn runner(&self) -> CampaignRunner {
+        CampaignRunner::from_env().with_campaign_seed(self.seed)
     }
 }
 

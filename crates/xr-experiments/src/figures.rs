@@ -5,6 +5,7 @@
 use crate::context::ExperimentContext;
 use serde::{Deserialize, Serialize};
 use xr_stats::metrics;
+use xr_sweep::SweepGrid;
 use xr_types::{ExecutionTarget, Result};
 
 /// One operating point of a Fig. 4 sweep.
@@ -109,32 +110,33 @@ fn sweep(
     execution: ExecutionTarget,
     metric: Metric,
 ) -> Result<SweepResult> {
-    let mut points = Vec::new();
-    for &clock in &ExperimentContext::CPU_CLOCKS {
-        for &size in &ExperimentContext::FRAME_SIZES {
-            let scenario = ctx.scenario(size, clock, execution)?;
-            let session = ctx
-                .testbed()
-                .simulate_session(&scenario, ctx.frames_per_point())?;
-            let report = ctx.proposed().analyze(&scenario)?;
-            let (ground_truth, proposed) = match metric {
-                Metric::Latency => (
-                    session.mean_latency().as_f64() * 1e3,
-                    report.latency_ms().as_f64(),
-                ),
-                Metric::Energy => (
-                    session.mean_energy().as_f64() * 1e3,
-                    report.energy_mj().as_f64(),
-                ),
-            };
-            points.push(SweepPoint {
-                frame_size: size,
-                cpu_clock_ghz: clock,
-                ground_truth,
-                proposed,
-            });
-        }
-    }
+    // One campaign per panel: the paper grid (clock outer, frame size inner)
+    // evaluated by the shared engine — in parallel when workers are
+    // available, with output independent of the worker count.
+    let grid = SweepGrid::paper_panel(execution);
+    let points = ctx.runner().run(&grid.points()?, |_, point| {
+        let scenario = ctx.scenario_for(point)?;
+        let session = ctx
+            .testbed()
+            .simulate_session(&scenario, ctx.frames_per_point())?;
+        let report = ctx.proposed().analyze(&scenario)?;
+        let (ground_truth, proposed) = match metric {
+            Metric::Latency => (
+                session.mean_latency().as_f64() * 1e3,
+                report.latency_ms().as_f64(),
+            ),
+            Metric::Energy => (
+                session.mean_energy().as_f64() * 1e3,
+                report.energy_mj().as_f64(),
+            ),
+        };
+        Ok(SweepPoint {
+            frame_size: point.frame_size,
+            cpu_clock_ghz: point.cpu_clock_ghz,
+            ground_truth,
+            proposed,
+        })
+    })?;
     Ok(SweepResult {
         execution,
         metric: match metric {

@@ -13,16 +13,22 @@
 //! | Fig. 5(a)/(b) comparison with FACT and LEAF | [`comparison`] | `fig5a`, `fig5b` |
 //! | §VIII-A/B mean-error summary | [`errors`] | `error_summary` |
 //! | Eqs. 3/10/12/21 regression fits | [`regression_report`] | `regression_report` |
+//! | Consolidated five-axis sweep | [`campaign`] | `campaign` |
 //!
 //! Each binary prints the rows/series the paper reports and writes a CSV
 //! artifact under `target/experiments/`. `run_all` chains everything in
 //! one invocation.
+//!
+//! Every sweep is executed by the shared campaign engine in `xr-sweep`: the
+//! grids run in parallel over scoped worker threads (`XR_SWEEP_WORKERS`
+//! overrides the count) and produce bit-identical rows for any worker count.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
 pub mod aoi_experiments;
+pub mod campaign;
 pub mod comparison;
 pub mod context;
 pub mod errors;
@@ -33,6 +39,7 @@ pub mod tables;
 
 pub use ablation::{AblationRow, AblationStudy};
 pub use aoi_experiments::{AoiPoint, AoiSweep, RoiPoint};
+pub use campaign::CampaignRow;
 pub use comparison::{ComparisonPoint, ComparisonSweep, Metric};
 pub use context::ExperimentContext;
 pub use errors::ErrorSummary;

@@ -42,13 +42,13 @@ impl<T> PartialOrd for HeapEntry<T> {
 
 impl<T> Ord for HeapEntry<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering so that the earliest event is popped first; NaN is
-        // rejected at insertion so partial_cmp cannot fail.
+        // Reverse ordering so that the earliest event is popped first;
+        // `schedule_at` rejects non-finite times, so partial_cmp cannot fail.
         other
             .0
             .time
             .partial_cmp(&self.0.time)
-            .expect("event times are never NaN")
+            .expect("event times are always finite")
             .then_with(|| other.0.sequence.cmp(&self.0.sequence))
     }
 }
@@ -94,9 +94,14 @@ impl<T> EventQueue<T> {
     ///
     /// # Panics
     ///
-    /// Panics if `time` precedes the current simulated time (events cannot be
+    /// Panics if `time` is not finite (NaN or ±∞ would corrupt the heap
+    /// ordering) or precedes the current simulated time (events cannot be
     /// scheduled in the past).
     pub fn schedule_at(&mut self, time: Seconds, payload: T) {
+        assert!(
+            time.as_f64().is_finite(),
+            "event time must be finite (got {time})"
+        );
         assert!(
             time >= self.now,
             "cannot schedule an event in the past ({} < {})",
@@ -192,6 +197,25 @@ mod tests {
         q.schedule_at(Seconds::new(2.0), ());
         q.pop();
         q.schedule_at(Seconds::new(1.0), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "event time must be finite")]
+    fn scheduling_nan_time_panics_with_accurate_message() {
+        // `Seconds::new` rejects NaN outright, but arithmetic on infinite
+        // quantities still produces one (∞ − ∞); the queue must name the real
+        // problem instead of claiming the event lies "in the past".
+        let nan = Seconds::new(f64::INFINITY) - Seconds::new(f64::INFINITY);
+        assert!(nan.as_f64().is_nan());
+        let mut q = EventQueue::new();
+        q.schedule_at(nan, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "event time must be finite")]
+    fn scheduling_infinite_time_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Seconds::new(f64::INFINITY), ());
     }
 
     #[test]

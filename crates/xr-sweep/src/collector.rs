@@ -1,0 +1,89 @@
+//! In-order streaming collection of out-of-order campaign results.
+
+use std::collections::BTreeMap;
+
+/// Reorders results that complete out of order back into point order,
+/// emitting each contiguous prefix to a sink the moment it is complete.
+///
+/// This is the streaming bridge between a parallel campaign and an
+/// append-only artifact such as a CSV file: workers push `(index, row)` pairs
+/// as they finish, the collector holds back anything ahead of a gap, and the
+/// sink only ever observes rows in index order — so the written artifact is
+/// byte-identical to a sequential run.
+#[derive(Debug)]
+pub struct InOrderCollector<R, F: FnMut(usize, R)> {
+    next: usize,
+    pending: BTreeMap<usize, R>,
+    sink: F,
+}
+
+impl<R, F: FnMut(usize, R)> InOrderCollector<R, F> {
+    /// A collector forwarding in-order results to `sink`.
+    pub fn new(sink: F) -> Self {
+        Self {
+            next: 0,
+            pending: BTreeMap::new(),
+            sink,
+        }
+    }
+
+    /// Accepts the result for `index`, emitting it (and any directly
+    /// following held-back results) if it extends the contiguous prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` was already emitted or is already pending — a
+    /// duplicate index means the campaign evaluated a point twice.
+    pub fn push(&mut self, index: usize, value: R) {
+        assert!(
+            index >= self.next,
+            "duplicate result for already-emitted point {index}"
+        );
+        let duplicate = self.pending.insert(index, value);
+        assert!(duplicate.is_none(), "duplicate result for point {index}");
+        while let Some(value) = self.pending.remove(&self.next) {
+            (self.sink)(self.next, value);
+            self.next += 1;
+        }
+    }
+
+    /// Index of the next result the sink is waiting for.
+    #[must_use]
+    pub fn emitted(&self) -> usize {
+        self.next
+    }
+
+    /// `true` when nothing is held back waiting for a gap to fill.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_order_pushes_emit_in_order() {
+        let seen = std::cell::RefCell::new(Vec::new());
+        let mut collector =
+            InOrderCollector::new(|i: usize, v: &str| seen.borrow_mut().push((i, v)));
+        collector.push(2, "c");
+        collector.push(0, "a");
+        assert_eq!(*seen.borrow(), vec![(0, "a")]);
+        assert!(!collector.is_drained());
+        collector.push(1, "b");
+        assert_eq!(*seen.borrow(), vec![(0, "a"), (1, "b"), (2, "c")]);
+        assert!(collector.is_drained());
+        assert_eq!(collector.emitted(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate result")]
+    fn duplicate_indices_panic() {
+        let mut collector = InOrderCollector::new(|_, _: u8| {});
+        collector.push(0, 1);
+        collector.push(0, 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! The operating-point grid a campaign sweeps.
+
+use serde::{Deserialize, Serialize};
+use xr_types::{Error, ExecutionTarget, Result};
+
+/// The frame sizes swept in Figs. 4–5 (the paper's x-axis, pixel²).
+pub const PAPER_FRAME_SIZES: [f64; 5] = [300.0, 400.0, 500.0, 600.0, 700.0];
+/// The CPU clocks swept in Fig. 4 (GHz).
+pub const PAPER_CPU_CLOCKS: [f64; 3] = [1.0, 2.0, 3.0];
+/// The held-out client device the paper evaluates on.
+pub const PAPER_EVAL_DEVICE: &str = "XR2";
+
+/// One wireless condition of the sweep: overrides applied to every edge
+/// server of the scenario. The [`WirelessCondition::baseline`] condition
+/// applies no overrides, reproducing the testbed's nominal link exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WirelessCondition {
+    /// Label used in campaign rows (e.g. `"baseline"`, `"cell-edge"`).
+    pub label: String,
+    /// Distance from the client to each edge server in metres; `None` keeps
+    /// the scenario default.
+    pub distance_m: Option<f64>,
+    /// Link throughput override in Mbit/s; `None` keeps the technology's
+    /// nominal throughput.
+    pub throughput_mbps: Option<f64>,
+}
+
+impl WirelessCondition {
+    /// The testbed's nominal link: no overrides.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self {
+            label: "baseline".to_string(),
+            distance_m: None,
+            throughput_mbps: None,
+        }
+    }
+
+    /// A named condition overriding edge distance and/or throughput.
+    #[must_use]
+    pub fn new(
+        label: impl Into<String>,
+        distance_m: Option<f64>,
+        throughput_mbps: Option<f64>,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            distance_m,
+            throughput_mbps,
+        }
+    }
+
+    /// `true` when the condition applies no overrides.
+    #[must_use]
+    pub fn is_baseline(&self) -> bool {
+        self.distance_m.is_none() && self.throughput_mbps.is_none()
+    }
+}
+
+impl Default for WirelessCondition {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+/// One operating point of a campaign: the cartesian coordinates of a single
+/// measurement, plus its stable index in the grid's enumeration order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Position in the grid's enumeration order (0-based). Stable across
+    /// runs; the per-point seed and the output row order both derive from
+    /// it. Valid only for a full `points()` enumeration: when sub-slicing or
+    /// filtering points before handing them to a runner, the runner's
+    /// `PointContext::index` (the slice position) is the authoritative index
+    /// and seed source, not this field.
+    pub index: usize,
+    /// Frame-size parameter (pixel²).
+    pub frame_size: f64,
+    /// CPU clock in GHz.
+    pub cpu_clock_ghz: f64,
+    /// Where the inference task executes.
+    pub execution: ExecutionTarget,
+    /// Client device catalog name.
+    pub device: String,
+    /// Wireless condition applied to the scenario's edge links.
+    pub wireless: WirelessCondition,
+}
+
+/// A campaign grid: the cartesian product of five axes, enumerated in a
+/// fixed row-major order (device, wireless, execution, CPU clock, frame
+/// size — frame size varies fastest, matching the Fig. 4 panel layout).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    frame_sizes: Vec<f64>,
+    cpu_clocks: Vec<f64>,
+    executions: Vec<ExecutionTarget>,
+    devices: Vec<String>,
+    wireless: Vec<WirelessCondition>,
+}
+
+impl SweepGrid {
+    /// The paper's Fig. 4 panel grid for one execution target: 5 frame sizes
+    /// × 3 clocks on the held-out XR2 client over the nominal link.
+    #[must_use]
+    pub fn paper_panel(execution: ExecutionTarget) -> Self {
+        Self {
+            frame_sizes: PAPER_FRAME_SIZES.to_vec(),
+            cpu_clocks: PAPER_CPU_CLOCKS.to_vec(),
+            executions: vec![execution],
+            devices: vec![PAPER_EVAL_DEVICE.to_string()],
+            wireless: vec![WirelessCondition::baseline()],
+        }
+    }
+
+    /// Replaces the frame-size axis.
+    #[must_use]
+    pub fn with_frame_sizes(mut self, sizes: impl Into<Vec<f64>>) -> Self {
+        self.frame_sizes = sizes.into();
+        self
+    }
+
+    /// Replaces the CPU-clock axis.
+    #[must_use]
+    pub fn with_cpu_clocks(mut self, clocks: impl Into<Vec<f64>>) -> Self {
+        self.cpu_clocks = clocks.into();
+        self
+    }
+
+    /// Replaces the execution-target axis.
+    #[must_use]
+    pub fn with_executions(mut self, executions: impl Into<Vec<ExecutionTarget>>) -> Self {
+        self.executions = executions.into();
+        self
+    }
+
+    /// Replaces the device axis (client catalog names).
+    #[must_use]
+    pub fn with_devices(mut self, devices: Vec<String>) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Replaces the wireless-condition axis.
+    #[must_use]
+    pub fn with_wireless(mut self, wireless: Vec<WirelessCondition>) -> Self {
+        self.wireless = wireless;
+        self
+    }
+
+    /// Number of operating points in the grid.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frame_sizes.len()
+            * self.cpu_clocks.len()
+            * self.executions.len()
+            * self.devices.len()
+            * self.wireless.len()
+    }
+
+    /// `true` when any axis is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates every operating point in the grid's canonical order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when an axis is empty — an empty
+    /// campaign is almost always a configuration bug, so it is rejected
+    /// loudly instead of silently producing zero rows.
+    pub fn points(&self) -> Result<Vec<OperatingPoint>> {
+        if self.is_empty() {
+            return Err(Error::invalid_parameter(
+                "grid",
+                "every sweep axis needs at least one value",
+            ));
+        }
+        let mut points = Vec::with_capacity(self.len());
+        let mut index = 0usize;
+        for device in &self.devices {
+            for wireless in &self.wireless {
+                for &execution in &self.executions {
+                    for &clock in &self.cpu_clocks {
+                        for &size in &self.frame_sizes {
+                            points.push(OperatingPoint {
+                                index,
+                                frame_size: size,
+                                cpu_clock_ghz: clock,
+                                execution,
+                                device: device.clone(),
+                                wireless: wireless.clone(),
+                            });
+                            index += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_panel_matches_the_figure_layout() {
+        let grid = SweepGrid::paper_panel(ExecutionTarget::Local);
+        assert_eq!(grid.len(), 15);
+        let points = grid.points().unwrap();
+        assert_eq!(points.len(), 15);
+        // Frame size varies fastest, clock next: the Fig. 4 row order.
+        assert_eq!(points[0].frame_size, 300.0);
+        assert_eq!(points[0].cpu_clock_ghz, 1.0);
+        assert_eq!(points[4].frame_size, 700.0);
+        assert_eq!(points[5].frame_size, 300.0);
+        assert_eq!(points[5].cpu_clock_ghz, 2.0);
+        assert_eq!(points[14].cpu_clock_ghz, 3.0);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert_eq!(p.device, "XR2");
+            assert!(p.wireless.is_baseline());
+        }
+    }
+
+    #[test]
+    fn axes_multiply_and_enumerate_outer_to_inner() {
+        let grid = SweepGrid::paper_panel(ExecutionTarget::Remote)
+            .with_frame_sizes([300.0, 500.0])
+            .with_cpu_clocks([2.0])
+            .with_executions([ExecutionTarget::Local, ExecutionTarget::Remote])
+            .with_devices(vec!["XR2".into(), "XR3".into()])
+            .with_wireless(vec![
+                WirelessCondition::baseline(),
+                WirelessCondition::new("far", Some(60.0), None),
+            ]);
+        assert_eq!(grid.len(), 16); // 2 sizes × 1 clock × 2 targets × 2 devices × 2 links
+        let points = grid.points().unwrap();
+        assert_eq!(points.len(), 16);
+        assert_eq!(points[0].device, "XR2");
+        assert_eq!(points[8].device, "XR3");
+        assert!(points[0].wireless.is_baseline());
+        assert_eq!(points[4].wireless.label, "far");
+        assert!(!points[4].wireless.is_baseline());
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let grid = SweepGrid::paper_panel(ExecutionTarget::Local).with_frame_sizes([]);
+        assert!(grid.is_empty());
+        assert!(grid.points().is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # xr-sweep
+//!
+//! The measurement-campaign engine behind every figure sweep in the
+//! workspace. The paper's validation story (Figs. 4–5, Tables III–IV) is a
+//! grid sweep — frame size × CPU clock × execution target — and related
+//! frameworks (Lecci et al.'s XR traffic framework, Laha et al.'s 5G-NR
+//! provisioning study) treat the *campaign* as the first-class object. This
+//! crate does the same for the xr-perf workspace:
+//!
+//! - [`SweepGrid`] enumerates operating points over frame size, CPU clock,
+//!   execution target, client device, and wireless condition in a fixed
+//!   row-major order (device → wireless → execution → clock → frame size,
+//!   frame size innermost — the ordering the Fig. 4 panels print).
+//! - [`CampaignRunner`] executes the points with `std::thread::scope` over a
+//!   configurable worker count. Each point's random seed is derived
+//!   deterministically from `(campaign_seed, point_index)` via
+//!   [`point_seed`], so campaign results are **bit-identical regardless of
+//!   thread count or scheduling order**.
+//! - [`InOrderCollector`] streams completed results back into point order so
+//!   rows can be appended to the existing CSV output layer as they finish,
+//!   without ever reordering the artifact.
+//!
+//! The experiment drivers in `xr-experiments` (`figures`, `comparison`,
+//! `ablation`, the `fig4*`/`run_all`/`campaign` binaries) all drive this one
+//! engine instead of hand-rolled sequential loops.
+//!
+//! ## Determinism contract
+//!
+//! A campaign's output is a pure function of `(grid, campaign_seed,
+//! evaluation function)`. Worker count only changes wall-clock time. This is
+//! enforced by construction — workers never share mutable state with the
+//! evaluation closure, per-point seeds never depend on scheduling — and
+//! checked by the `sweep_campaign` integration tests and a CI step that runs
+//! the `campaign` binary twice with different worker counts and diffs the
+//! CSVs.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod collector;
+pub mod grid;
+pub mod runner;
+pub mod seed;
+
+pub use collector::InOrderCollector;
+pub use grid::{OperatingPoint, SweepGrid, WirelessCondition};
+pub use runner::{CampaignRunner, PointContext};
+pub use seed::point_seed;

@@ -1,0 +1,286 @@
+//! The parallel campaign executor.
+
+use crate::collector::InOrderCollector;
+use crate::seed::point_seed;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use xr_types::{Error, Result};
+
+/// Everything a point-evaluation closure may depend on besides the point
+/// itself: the point's stable index and its deterministically derived seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointContext {
+    /// The point's position in the grid's enumeration order.
+    pub index: usize,
+    /// Seed derived from `(campaign_seed, index)` via [`point_seed`].
+    pub seed: u64,
+}
+
+/// Executes the points of a campaign over a pool of scoped worker threads.
+///
+/// Workers claim points from a shared atomic cursor, so load balances
+/// automatically, but nothing about the *results* depends on which worker
+/// evaluates which point: the evaluation closure receives only the point and
+/// its [`PointContext`], and results are returned (or streamed) in point
+/// order. A campaign is therefore bit-identical for any worker count.
+#[derive(Debug, Clone)]
+pub struct CampaignRunner {
+    workers: usize,
+    campaign_seed: u64,
+}
+
+/// Environment variable overriding the default worker count.
+pub const WORKERS_ENV: &str = "XR_SWEEP_WORKERS";
+
+impl CampaignRunner {
+    /// A runner with an explicit worker count (clamped to at least 1).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            campaign_seed: 0,
+        }
+    }
+
+    /// A runner sized from the `XR_SWEEP_WORKERS` environment variable
+    /// (clamped to at least 1, like [`CampaignRunner::new`]), falling back
+    /// to the machine's available parallelism when the variable is unset or
+    /// unparseable.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let workers = std::env::var(WORKERS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|w| w.max(1))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        Self::new(workers)
+    }
+
+    /// Sets the campaign seed from which per-point seeds derive.
+    #[must_use]
+    pub fn with_campaign_seed(mut self, seed: u64) -> Self {
+        self.campaign_seed = seed;
+        self
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The campaign seed.
+    #[must_use]
+    pub fn campaign_seed(&self) -> u64 {
+        self.campaign_seed
+    }
+
+    /// Evaluates `eval` at every point and returns the results in point
+    /// order, regardless of worker count or completion order.
+    ///
+    /// # Errors
+    ///
+    /// If any evaluation fails, the error for the *lowest-indexed* failing
+    /// point is returned — again independent of scheduling — and work past
+    /// the failing point is abandoned as soon as workers notice.
+    pub fn run<P, R, F>(&self, points: &[P], eval: F) -> Result<Vec<R>>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(PointContext, &P) -> Result<R> + Sync,
+    {
+        let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..points.len()).map(|_| None).collect());
+        self.execute(points, &eval, |index, value| {
+            slots.lock().expect("slot lock")[index] = Some(value);
+        })?;
+        Ok(slots
+            .into_inner()
+            .expect("slot lock")
+            .into_iter()
+            .map(|slot| slot.expect("every point evaluated"))
+            .collect())
+    }
+
+    /// Evaluates every point and streams results **in point order** into
+    /// `sink` as contiguous prefixes complete, via an [`InOrderCollector`]
+    /// hold-back buffer. The emission order (and therefore any CSV appended
+    /// row by row) is identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CampaignRunner::run`]. On failure the sink has
+    /// observed some prefix of the rows before the failing index, never
+    /// anything at or beyond it; callers should discard the partial artifact.
+    pub fn run_streaming<P, R, F, S>(&self, points: &[P], eval: F, sink: S) -> Result<()>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(PointContext, &P) -> Result<R> + Sync,
+        S: FnMut(usize, R) + Send,
+    {
+        let collector = Mutex::new(InOrderCollector::new(sink));
+        self.execute(points, &eval, |index, value| {
+            collector.lock().expect("collector lock").push(index, value);
+        })?;
+        debug_assert!(
+            collector.into_inner().expect("collector lock").is_drained(),
+            "a successful campaign leaves no held-back rows"
+        );
+        Ok(())
+    }
+
+    /// The shared worker loop: claims indices from an atomic cursor, calls
+    /// `eval`, and hands successes to `deliver` (which must tolerate
+    /// arbitrary completion order). Keeps the lowest-indexed error.
+    fn execute<P, R, F, D>(&self, points: &[P], eval: &F, deliver: D) -> Result<()>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(PointContext, &P) -> Result<R> + Sync,
+        D: Fn(usize, R) + Sync,
+    {
+        if points.is_empty() {
+            return Ok(());
+        }
+        let context = |index: usize| PointContext {
+            index,
+            seed: point_seed(self.campaign_seed, index),
+        };
+        let workers = self.workers.min(points.len());
+        if workers == 1 {
+            // Sequential fast path: no thread or lock overhead, and the
+            // reference ordering the parallel path must reproduce.
+            for (index, point) in points.iter().enumerate() {
+                deliver(index, eval(context(index), point)?);
+            }
+            return Ok(());
+        }
+
+        let cursor = AtomicUsize::new(0);
+        // Lowest failing point index + its error, so the reported failure is
+        // scheduling-independent.
+        let failure: Mutex<Option<(usize, Error)>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= points.len() {
+                        break;
+                    }
+                    {
+                        let failed = failure.lock().expect("failure lock");
+                        if failed.as_ref().is_some_and(|(fi, _)| *fi < index) {
+                            // Everything past the failing point is abandoned;
+                            // earlier points still complete so the lowest
+                            // failure wins deterministically.
+                            continue;
+                        }
+                    }
+                    match eval(context(index), &points[index]) {
+                        Ok(result) => deliver(index, result),
+                        Err(error) => {
+                            let mut failed = failure.lock().expect("failure lock");
+                            if failed.as_ref().is_none_or(|(fi, _)| index < *fi) {
+                                *failed = Some((index, error));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some((_, error)) = failure.into_inner().expect("failure lock") {
+            return Err(error);
+        }
+        Ok(())
+    }
+}
+
+impl Default for CampaignRunner {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_identical_for_any_worker_count() {
+        let points: Vec<u64> = (0..37).collect();
+        let eval =
+            |ctx: PointContext, p: &u64| Ok::<_, Error>(p.wrapping_mul(31) ^ ctx.seed ^ 0xABCD);
+        let reference = CampaignRunner::new(1)
+            .with_campaign_seed(99)
+            .run(&points, eval)
+            .unwrap();
+        for workers in [2, 3, 4, 8, 64] {
+            let parallel = CampaignRunner::new(workers)
+                .with_campaign_seed(99)
+                .run(&points, eval)
+                .unwrap();
+            assert_eq!(parallel, reference, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn lowest_indexed_error_wins() {
+        let points: Vec<usize> = (0..64).collect();
+        let eval = |_: PointContext, p: &usize| {
+            if *p >= 10 {
+                Err(Error::invalid_parameter("point", format!("boom {p}")))
+            } else {
+                Ok(*p)
+            }
+        };
+        for workers in [1, 4, 16] {
+            let err = CampaignRunner::new(workers)
+                .run(&points, eval)
+                .expect_err("must fail");
+            assert!(
+                err.to_string().contains("boom 10"),
+                "workers={workers}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_emits_in_point_order() {
+        let points: Vec<usize> = (0..23).collect();
+        let mut seen = Vec::new();
+        CampaignRunner::new(5)
+            .run_streaming(
+                &points,
+                |ctx, p| Ok::<_, Error>(p * 2 + ctx.index),
+                |index, value| seen.push((index, value)),
+            )
+            .unwrap();
+        assert_eq!(seen.len(), 23);
+        for (i, (index, value)) in seen.iter().enumerate() {
+            assert_eq!(*index, i);
+            assert_eq!(*value, i * 3);
+        }
+    }
+
+    #[test]
+    fn empty_and_oversized_pools_are_fine() {
+        let runner = CampaignRunner::new(0); // clamps to 1
+        assert_eq!(runner.workers(), 1);
+        let none: Vec<u8> = Vec::new();
+        assert!(runner
+            .run(&none, |_, p: &u8| Ok::<_, Error>(*p))
+            .unwrap()
+            .is_empty());
+        let few = vec![1u8, 2];
+        let out = CampaignRunner::new(16)
+            .run(&few, |_, p| Ok::<_, Error>(*p))
+            .unwrap();
+        assert_eq!(out, vec![1, 2]);
+    }
+}

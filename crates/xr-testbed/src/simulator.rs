@@ -550,6 +550,17 @@ mod tests {
     }
 
     #[test]
+    fn simulator_is_shareable_across_campaign_workers() {
+        // The xr-sweep campaign engine evaluates operating points on scoped
+        // worker threads holding `&TestbedSimulator`; this locks in the
+        // Send + Sync bound a future field (e.g. interior-mutable caches)
+        // could silently break.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TestbedSimulator>();
+        assert_send_sync::<GroundTruthSession>();
+    }
+
+    #[test]
     fn session_statistics_are_positive_and_stable() {
         let testbed = TestbedSimulator::new(1);
         let s = scenario(500.0, 2.5, ExecutionTarget::Local);

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use xr_core::{LatencyModel, Scenario, XrPerformanceModel};
-use xr_queueing::MM1Queue;
+use xr_queueing::{MM1Queue, MM1Simulator};
 use xr_stats::{metrics, LinearRegression};
 use xr_types::{ExecutionTarget, GigaHertz, Hertz, Ratio, Segment};
 
@@ -106,6 +106,40 @@ proptest! {
         prop_assert!(queue.utilization() < 1.0);
         prop_assert!(queue.littles_law_residual().abs() < 1e-6);
         prop_assert!(queue.mean_time_in_system().as_f64() >= 1.0 / mu - 1e-12);
+    }
+
+    #[test]
+    fn mm1_simulation_tracks_analytics_across_the_stable_region(
+        rho in 0.05..0.9_f64,
+        mu in 200.0..2_000.0_f64,
+        seed in 0u64..1_000,
+    ) {
+        // After the warm-up accounting fixes, the simulated sojourn time,
+        // utilization and queue length all share one measurement window and
+        // must track the closed forms across the stable-ρ grid.
+        let lambda = rho * mu;
+        let analytic = MM1Queue::new(lambda, mu).unwrap();
+        let report = MM1Simulator::new(lambda, mu, seed)
+            .unwrap()
+            .with_warmup(2_000)
+            .run(30_000)
+            .unwrap();
+        prop_assert_eq!(report.completed, 30_000);
+        let sojourn_rel_err = (report.mean_time_in_system.as_f64()
+            - analytic.mean_time_in_system().as_f64())
+            .abs()
+            / analytic.mean_time_in_system().as_f64();
+        prop_assert!(sojourn_rel_err < 0.25, "sojourn rel err {} at rho {}", sojourn_rel_err, rho);
+        prop_assert!(
+            (report.utilization - analytic.utilization()).abs() < 0.05,
+            "utilization {} vs {}",
+            report.utilization,
+            analytic.utilization()
+        );
+        let length_rel_err = (report.mean_number_in_system - analytic.mean_number_in_system())
+            .abs()
+            / analytic.mean_number_in_system();
+        prop_assert!(length_rel_err < 0.3, "queue length rel err {} at rho {}", length_rel_err, rho);
     }
 
     #[test]

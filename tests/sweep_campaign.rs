@@ -1,0 +1,85 @@
+//! End-to-end determinism of the campaign engine: the same grid evaluated
+//! with different worker counts must produce byte-identical artifacts.
+
+use xr_experiments::campaign::{
+    quick_grid, run_campaign_streaming_with, run_campaign_with, CAMPAIGN_HEADER,
+};
+use xr_experiments::figures::latency_sweep;
+use xr_experiments::ExperimentContext;
+use xr_sweep::{CampaignRunner, SweepGrid};
+use xr_types::ExecutionTarget;
+
+/// Renders campaign rows exactly as the CSV layer writes them.
+fn csv_lines(rows: &[xr_experiments::CampaignRow]) -> Vec<String> {
+    let mut lines = vec![CAMPAIGN_HEADER.join(",")];
+    lines.extend(rows.iter().map(|r| r.cells().join(",")));
+    lines
+}
+
+#[test]
+fn campaign_csv_rows_are_byte_identical_across_worker_counts() {
+    let ctx = ExperimentContext::quick(2024).unwrap();
+    let grid = quick_grid();
+    let reference = csv_lines(&run_campaign_with(&ctx, &grid, &CampaignRunner::new(1)).unwrap());
+    assert_eq!(reference.len(), grid.len() + 1);
+    for workers in [2, 4, 9] {
+        let rows = run_campaign_with(&ctx, &grid, &CampaignRunner::new(workers)).unwrap();
+        assert_eq!(
+            csv_lines(&rows),
+            reference,
+            "{workers} workers diverged from the sequential reference"
+        );
+    }
+}
+
+#[test]
+fn streaming_campaign_emits_the_same_rows_in_order() {
+    let ctx = ExperimentContext::quick(5).unwrap();
+    let grid = SweepGrid::paper_panel(ExecutionTarget::Remote)
+        .with_frame_sizes([300.0, 700.0])
+        .with_cpu_clocks([2.0]);
+    let collected = run_campaign_with(&ctx, &grid, &CampaignRunner::new(3)).unwrap();
+    let mut streamed = Vec::new();
+    run_campaign_streaming_with(&ctx, &grid, &CampaignRunner::new(3), |index, row| {
+        assert_eq!(index, streamed.len(), "rows must stream in point order");
+        streamed.push(row);
+    })
+    .unwrap();
+    assert_eq!(streamed, collected);
+}
+
+#[test]
+fn figure_sweep_matches_a_hand_rolled_sequential_loop() {
+    // The engine-driven Fig. 4 panel must reproduce, number for number, what
+    // the pre-engine nested loop computed: clock outer, frame size inner,
+    // one testbed session and one model analysis per point.
+    let ctx = ExperimentContext::quick(2024).unwrap();
+    let sweep = latency_sweep(&ctx, ExecutionTarget::Local).unwrap();
+    let mut expected = Vec::new();
+    for &clock in &ExperimentContext::CPU_CLOCKS {
+        for &size in &ExperimentContext::FRAME_SIZES {
+            let scenario = ctx.scenario(size, clock, ExecutionTarget::Local).unwrap();
+            let session = ctx
+                .testbed()
+                .simulate_session(&scenario, ctx.frames_per_point())
+                .unwrap();
+            let report = ctx.proposed().analyze(&scenario).unwrap();
+            expected.push((
+                size,
+                clock,
+                session.mean_latency().as_f64() * 1e3,
+                report.latency_ms().as_f64(),
+            ));
+        }
+    }
+    assert_eq!(sweep.points.len(), expected.len());
+    for (point, (size, clock, ground_truth, proposed)) in sweep.points.iter().zip(expected) {
+        assert_eq!(point.frame_size, size);
+        assert_eq!(point.cpu_clock_ghz, clock);
+        assert_eq!(
+            point.ground_truth, ground_truth,
+            "GT diverged at {size}/{clock}"
+        );
+        assert_eq!(point.proposed, proposed, "model diverged at {size}/{clock}");
+    }
+}
