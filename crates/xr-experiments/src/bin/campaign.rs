@@ -1,28 +1,62 @@
-//! The consolidated campaign binary: sweeps the full five-axis quick grid
-//! (frame size × CPU clock × execution target × device × wireless condition)
-//! through the parallel campaign engine and writes one row per operating
-//! point to `campaign.csv`.
+//! The consolidated campaign binary: sweeps the full six-axis quick grid
+//! (frame size × CPU clock × execution target × device × wireless condition
+//! × mobility condition, with per-point replications) through the parallel
+//! campaign engine and writes one mean-±-CI row per operating point to
+//! `campaign.csv`.
+//!
+//! `--grid <file>` swaps the built-in quick grid for a data-defined one
+//! parsed by `xr_sweep::parse_grid_spec` (see that module's docs for the
+//! `key = value` format), so campaigns can change without recompiling.
 //!
 //! The CSV is bit-identical for every worker count (`XR_SWEEP_WORKERS`); CI
 //! runs this binary twice with different counts and diffs the artifacts.
 
 use xr_experiments::campaign::{quick_grid, run_campaign, CAMPAIGN_HEADER};
 use xr_experiments::{output, ExperimentContext};
+use xr_sweep::{parse_grid_spec, SweepGrid};
+
+/// Resolves the campaign grid: `--grid <file>` when given, the built-in
+/// quick grid otherwise.
+fn grid_from_args() -> SweepGrid {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(position) = args.iter().position(|a| a == "--grid") else {
+        return quick_grid();
+    };
+    let Some(path) = args.get(position + 1) else {
+        eprintln!("--grid requires a file path");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("cannot read grid spec {path}: {error}");
+            std::process::exit(2);
+        }
+    };
+    match parse_grid_spec(&text) {
+        Ok(grid) => grid,
+        Err(error) => {
+            eprintln!("invalid grid spec {path}: {error}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
+    let grid = grid_from_args();
     let ctx = ExperimentContext::from_args();
-    let grid = quick_grid();
     let rows = run_campaign(&ctx, &grid).expect("campaign failed");
     let cells: Vec<Vec<String>> = rows.iter().map(|r| r.cells()).collect();
     output::print_experiment(
-        "Consolidated campaign — five-axis sweep",
+        "Consolidated campaign — six-axis replicated sweep",
         &CAMPAIGN_HEADER,
         &cells,
         "campaign.csv",
     );
     println!(
-        "{} operating points evaluated with {} worker(s)",
+        "{} operating points × {} replication(s) evaluated with {} worker(s)",
         rows.len(),
+        grid.replications(),
         ctx.runner().workers()
     );
 }

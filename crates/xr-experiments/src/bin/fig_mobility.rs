@@ -1,0 +1,28 @@
+//! Mobility figure: ground-truth latency and handoff rate over a device
+//! speed × coverage radius grid, replicated with 95 % confidence intervals
+//! through the shared campaign engine.
+
+use xr_experiments::mobility_experiments::{mobility_sweep, FIG_MOBILITY_HEADER};
+use xr_experiments::{output, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let points = mobility_sweep(&ctx).expect("mobility sweep failed");
+    let cells: Vec<Vec<String>> = points.iter().map(|p| p.cells()).collect();
+    output::print_experiment(
+        "Mobility — latency and handoff rate vs speed × coverage radius",
+        &FIG_MOBILITY_HEADER,
+        &cells,
+        "fig_mobility.csv",
+    );
+    let handoffs: usize = points
+        .iter()
+        .filter(|p| p.row.gt_handoff_rate > 0.0)
+        .count();
+    println!(
+        "{} operating points ({} with nonzero handoff rate) evaluated with {} worker(s)",
+        points.len(),
+        handoffs,
+        ctx.runner().workers()
+    );
+}

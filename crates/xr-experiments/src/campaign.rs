@@ -1,44 +1,104 @@
-//! Consolidated measurement campaigns over the full five-axis sweep grid.
+//! Consolidated measurement campaigns over the full six-axis sweep grid.
 //!
 //! Where the `figures`/`comparison` modules regenerate individual paper
 //! panels, a *campaign* sweeps every axis the engine knows about — frame
-//! size, CPU clock, execution target, client device, wireless condition —
-//! and emits one consolidated row per operating point. The `campaign`
-//! binary drives [`quick_grid`] and is also the CI determinism probe: run
-//! twice with different `XR_SWEEP_WORKERS`, the CSVs must be identical.
+//! size, CPU clock, execution target, client device, wireless condition,
+//! mobility condition — and measures each operating point with
+//! `grid.replications()` independently seeded testbed sessions, exactly as
+//! the paper's campaign repeats measurements under a moving user. Each row
+//! aggregates its replications into a mean with a two-sided 95 % Student-t
+//! confidence interval. The `campaign` binary drives [`quick_grid`] (or a
+//! `--grid <file>` spec) and is also the CI determinism probe: run twice
+//! with different `XR_SWEEP_WORKERS`, the CSVs must be identical.
 
 use crate::context::ExperimentContext;
 use serde::{Deserialize, Serialize};
+use xr_stats::mean_confidence_interval;
 use xr_sweep::{CampaignRunner, OperatingPoint, SweepGrid, WirelessCondition};
 use xr_types::{ExecutionTarget, Result};
 
 /// Column header of the consolidated campaign CSV.
-pub const CAMPAIGN_HEADER: [&str; 10] = [
+pub const CAMPAIGN_HEADER: [&str; 17] = [
     "point",
     "device",
     "wireless",
+    "mobility",
     "execution",
     "cpu_ghz",
     "frame_size",
-    "gt_latency_ms",
+    "replications",
+    "gt_latency_ms_mean",
+    "gt_latency_ms_ci95_lo",
+    "gt_latency_ms_ci95_hi",
+    "gt_energy_mj_mean",
+    "gt_energy_mj_ci95_lo",
+    "gt_energy_mj_ci95_hi",
+    "gt_handoff_rate",
     "proposed_latency_ms",
-    "gt_energy_mj",
     "proposed_energy_mj",
 ];
 
-/// One consolidated campaign measurement: the operating point plus ground
-/// truth and proposed-model predictions for both metrics.
+/// Mean and two-sided 95 % Student-t confidence bounds over the
+/// replications of one operating point. With a single replication the
+/// interval degenerates to the mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicateStats {
+    /// Mean over the replications.
+    pub mean: f64,
+    /// Lower 95 % confidence bound.
+    pub ci95_lo: f64,
+    /// Upper 95 % confidence bound.
+    pub ci95_hi: f64,
+}
+
+impl ReplicateStats {
+    /// Aggregates per-replication measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let (ci95_lo, ci95_hi) = mean_confidence_interval(samples, 0.95);
+        Self {
+            mean,
+            ci95_lo,
+            ci95_hi,
+        }
+    }
+}
+
+/// One replication's raw measurements at an operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RepSample {
+    latency_ms: f64,
+    energy_mj: f64,
+    handoff_rate: f64,
+    /// `(latency_ms, energy_mj)` model prediction, computed only on the
+    /// first replication (the model is deterministic per point).
+    proposed: Option<(f64, f64)>,
+}
+
+/// One consolidated campaign measurement: the operating point plus
+/// replication-aggregated ground truth and the (deterministic)
+/// proposed-model prediction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignRow {
     /// The operating point this row measures.
     pub point: OperatingPoint,
-    /// Ground-truth mean end-to-end latency (ms).
-    pub gt_latency_ms: f64,
-    /// Proposed-model latency prediction (ms).
+    /// Number of independently seeded sessions aggregated into this row.
+    pub replications: usize,
+    /// Ground-truth mean end-to-end latency (ms) with 95 % CI.
+    pub gt_latency_ms: ReplicateStats,
+    /// Ground-truth mean per-frame energy (mJ) with 95 % CI.
+    pub gt_energy_mj: ReplicateStats,
+    /// Ground-truth fraction of frames with a handoff, averaged over
+    /// replications.
+    pub gt_handoff_rate: f64,
+    /// Proposed-model latency prediction (ms) — deterministic per point.
     pub proposed_latency_ms: f64,
-    /// Ground-truth mean per-frame energy (mJ).
-    pub gt_energy_mj: f64,
-    /// Proposed-model energy prediction (mJ).
+    /// Proposed-model energy prediction (mJ) — deterministic per point.
     pub proposed_energy_mj: f64,
 }
 
@@ -55,12 +115,19 @@ impl CampaignRow {
             self.point.index.to_string(),
             self.point.device.clone(),
             self.point.wireless.label.clone(),
+            self.point.mobility.label.clone(),
             execution,
             format!("{:.1}", self.point.cpu_clock_ghz),
             format!("{:.0}", self.point.frame_size),
-            format!("{:.3}", self.gt_latency_ms),
+            self.replications.to_string(),
+            format!("{:.3}", self.gt_latency_ms.mean),
+            format!("{:.3}", self.gt_latency_ms.ci95_lo),
+            format!("{:.3}", self.gt_latency_ms.ci95_hi),
+            format!("{:.3}", self.gt_energy_mj.mean),
+            format!("{:.3}", self.gt_energy_mj.ci95_lo),
+            format!("{:.3}", self.gt_energy_mj.ci95_hi),
+            format!("{:.4}", self.gt_handoff_rate),
             format!("{:.3}", self.proposed_latency_ms),
-            format!("{:.3}", self.gt_energy_mj),
             format!("{:.3}", self.proposed_energy_mj),
         ]
     }
@@ -68,7 +135,8 @@ impl CampaignRow {
 
 /// The quick consolidated grid the `campaign` binary sweeps: a scenario
 /// spread no single figure covers — two client devices, local and remote
-/// execution, and a degraded cell-edge link next to the nominal one.
+/// execution, a degraded cell-edge link next to the nominal one, a moving
+/// device next to the static one, and three replications per point.
 #[must_use]
 pub fn quick_grid() -> SweepGrid {
     // Every axis of the starting panel is replaced below, so its execution
@@ -83,11 +151,19 @@ pub fn quick_grid() -> SweepGrid {
             WirelessCondition::baseline(),
             WirelessCondition::new("cell-edge", Some(60.0), Some(40.0)),
         ])
+        .with_mobility(vec![
+            xr_sweep::MobilityCondition::static_device(),
+            xr_sweep::MobilityCondition::new("vehicle", 25.0, 10.0),
+        ])
+        .with_replications(3)
 }
 
-/// Runs a campaign over `grid`, streaming rows **in point order** into
-/// `sink` as they complete (the engine's hold-back collector guarantees the
-/// order regardless of worker count).
+/// Runs a replicated campaign over `grid`, streaming aggregated rows **in
+/// point order** into `sink` as each point's replications complete (the
+/// engine's hold-back collector guarantees the order regardless of worker
+/// count). Every replication simulates an independently seeded testbed
+/// session; seeds derive from `(campaign_seed, point_index, rep_index)`, so
+/// the artifact is bit-identical for any worker count.
 ///
 /// # Errors
 ///
@@ -110,30 +186,59 @@ pub fn run_campaign_streaming_with(
     ctx: &ExperimentContext,
     grid: &SweepGrid,
     runner: &CampaignRunner,
-    sink: impl FnMut(usize, CampaignRow) + Send,
+    mut sink: impl FnMut(usize, CampaignRow) + Send,
 ) -> Result<()> {
     let points = grid.points()?;
-    runner.run_streaming(
+    let replications = grid.replications();
+    runner.run_replicated_streaming(
         &points,
-        |_, point: &OperatingPoint| {
+        replications,
+        |rep_ctx, point: &OperatingPoint| {
             let scenario = ctx.scenario_for(point)?;
             let session = ctx
-                .testbed()
+                .testbed_for_seed(rep_ctx.seed)
                 .simulate_session(&scenario, ctx.frames_per_point())?;
-            let report = ctx.proposed().analyze(&scenario)?;
-            Ok(CampaignRow {
-                point: point.clone(),
-                gt_latency_ms: session.mean_latency().as_f64() * 1e3,
-                proposed_latency_ms: report.latency_ms().as_f64(),
-                gt_energy_mj: session.mean_energy().as_f64() * 1e3,
-                proposed_energy_mj: report.energy_mj().as_f64(),
+            // The proposed model is deterministic per point: analyze once,
+            // on the first replication.
+            let proposed = if rep_ctx.rep_index == 0 {
+                let report = ctx.proposed().analyze(&scenario)?;
+                Some((report.latency_ms().as_f64(), report.energy_mj().as_f64()))
+            } else {
+                None
+            };
+            Ok(RepSample {
+                latency_ms: session.mean_latency().as_f64() * 1e3,
+                energy_mj: session.mean_energy().as_f64() * 1e3,
+                handoff_rate: session.handoff_rate(),
+                proposed,
             })
         },
-        sink,
+        |point_index, samples: Vec<RepSample>| {
+            let latencies: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+            let energies: Vec<f64> = samples.iter().map(|s| s.energy_mj).collect();
+            let handoff_rate =
+                samples.iter().map(|s| s.handoff_rate).sum::<f64>() / samples.len() as f64;
+            let (proposed_latency_ms, proposed_energy_mj) = samples[0]
+                .proposed
+                .expect("the first replication carries the model prediction");
+            sink(
+                point_index,
+                CampaignRow {
+                    point: points[point_index].clone(),
+                    replications: samples.len(),
+                    gt_latency_ms: ReplicateStats::of(&latencies),
+                    gt_energy_mj: ReplicateStats::of(&energies),
+                    gt_handoff_rate: handoff_rate,
+                    proposed_latency_ms,
+                    proposed_energy_mj,
+                },
+            );
+        },
     )
 }
 
-/// Runs a campaign over `grid` and returns every row in point order.
+/// Runs a campaign over `grid` and returns every aggregated row in point
+/// order.
 ///
 /// # Errors
 ///
@@ -167,12 +272,16 @@ mod tests {
         let grid = quick_grid();
         let rows = run_campaign(&ctx, &grid).unwrap();
         assert_eq!(rows.len(), grid.len());
-        assert_eq!(rows.len(), 48); // 3 sizes × 2 clocks × 2 targets × 2 devices × 2 links
+        assert_eq!(rows.len(), 96); // 3 sizes × 2 clocks × 2 targets × 2 devices × 2 links × 2 mobility
         for (i, row) in rows.iter().enumerate() {
             assert_eq!(row.point.index, i);
-            assert!(row.gt_latency_ms > 0.0);
+            assert_eq!(row.replications, 3);
+            assert!(row.gt_latency_ms.mean > 0.0);
+            assert!(row.gt_latency_ms.ci95_lo <= row.gt_latency_ms.mean);
+            assert!(row.gt_latency_ms.ci95_hi >= row.gt_latency_ms.mean);
+            assert!(row.gt_energy_mj.mean > 0.0);
             assert!(row.proposed_latency_ms > 0.0);
-            assert!(row.gt_energy_mj > 0.0);
+            assert!(row.proposed_energy_mj > 0.0);
             assert_eq!(row.cells().len(), CAMPAIGN_HEADER.len());
         }
         let devices: std::collections::BTreeSet<&str> =
@@ -183,6 +292,23 @@ mod tests {
             .map(|r| r.point.wireless.label.as_str())
             .collect();
         assert_eq!(links.len(), 2);
+        // Mobile remote points hand off; static points never do.
+        let mobile_rate: f64 = rows
+            .iter()
+            .filter(|r| {
+                !r.point.mobility.is_static() && r.point.execution == ExecutionTarget::Remote
+            })
+            .map(|r| r.gt_handoff_rate)
+            .sum();
+        assert!(mobile_rate > 0.0, "no mobile remote point handed off");
+        assert!(rows
+            .iter()
+            .filter(|r| r.point.mobility.is_static())
+            .all(|r| r.gt_handoff_rate == 0.0));
+        // Replication spread is real: some row has a non-degenerate CI.
+        assert!(rows
+            .iter()
+            .any(|r| r.gt_latency_ms.ci95_hi > r.gt_latency_ms.ci95_lo));
     }
 
     #[test]
@@ -196,6 +322,7 @@ mod tests {
                 .find(|r| {
                     r.point.device == device
                         && r.point.wireless.label == wireless
+                        && r.point.mobility.is_static()
                         && r.point.execution == execution
                         && (r.point.cpu_clock_ghz - clock).abs() < 1e-9
                         && (r.point.frame_size - size).abs() < 1e-9
@@ -205,14 +332,23 @@ mod tests {
         let nominal = find("XR2", "baseline", ExecutionTarget::Remote, 3.0, 500.0);
         let degraded = find("XR2", "cell-edge", ExecutionTarget::Remote, 3.0, 500.0);
         assert!(
-            degraded.gt_latency_ms > nominal.gt_latency_ms,
+            degraded.gt_latency_ms.mean > nominal.gt_latency_ms.mean,
             "cell-edge {} vs baseline {}",
-            degraded.gt_latency_ms,
-            nominal.gt_latency_ms
+            degraded.gt_latency_ms.mean,
+            nominal.gt_latency_ms.mean
         );
-        // Local execution never touches the link, so the condition is inert.
+        // Local execution never touches the link, so the condition is inert:
+        // the deterministic model predicts identical latency, and the two
+        // independently seeded ground-truth measurements agree to within
+        // measurement noise.
         let local_a = find("XR2", "baseline", ExecutionTarget::Local, 3.0, 500.0);
         let local_b = find("XR2", "cell-edge", ExecutionTarget::Local, 3.0, 500.0);
-        assert!((local_a.gt_latency_ms - local_b.gt_latency_ms).abs() < 1e-9);
+        assert!((local_a.proposed_latency_ms - local_b.proposed_latency_ms).abs() < 1e-9);
+        let gap = (local_a.gt_latency_ms.mean - local_b.gt_latency_ms.mean).abs()
+            / local_a.gt_latency_ms.mean;
+        assert!(
+            gap < 0.05,
+            "independent local measurements diverged by {gap}"
+        );
     }
 }

@@ -3,9 +3,9 @@
 
 use xr_core::{Scenario, XrPerformanceModel};
 use xr_devices::DeviceCatalog;
-use xr_sweep::{grid, CampaignRunner, OperatingPoint, WirelessCondition};
+use xr_sweep::{grid, CampaignRunner, MobilityCondition, OperatingPoint, WirelessCondition};
 use xr_testbed::{CalibratedModels, MeasurementCampaign, TestbedSimulator};
-use xr_types::{ExecutionTarget, GigaHertz, MegaBitsPerSecond, Meters, Result};
+use xr_types::{ExecutionTarget, GigaHertz, MegaBitsPerSecond, Meters, MetersPerSecond, Result};
 
 /// Everything an experiment needs: the ground-truth simulator, the calibrated
 /// proposed model, and the sweep bookkeeping.
@@ -137,15 +137,18 @@ impl ExperimentContext {
             execution,
             device: grid::PAPER_EVAL_DEVICE.to_string(),
             wireless: WirelessCondition::baseline(),
+            mobility: MobilityCondition::static_device(),
         })
     }
 
     /// Builds the evaluation scenario for one operating point of a campaign
     /// grid: the point's client device, frame size, CPU clock and execution
     /// target, with the point's wireless condition applied to the scenario's
-    /// own edge servers — a condition overrides only the fields it names, so
+    /// own edge servers and the point's mobility condition applied to the
+    /// device — a wireless condition overrides only the fields it names, so
     /// every non-baseline point stays pairwise comparable with its baseline
-    /// twin. The baseline wireless condition applies no overrides at all.
+    /// twin. The baseline wireless condition applies no overrides at all;
+    /// the static mobility condition equals the scenario defaults.
     ///
     /// # Errors
     ///
@@ -165,8 +168,24 @@ impl ExperimentContext {
                 server.throughput = Some(MegaBitsPerSecond::new(throughput));
             }
         }
+        // Applied unconditionally so a static condition's coverage radius is
+        // really in effect (artifact columns must state the measured
+        // condition); `MobilityCondition::static_device()` equals the
+        // scenario defaults, so baseline grids are unchanged.
+        scenario.mobility.speed = MetersPerSecond::new(point.mobility.speed_mps);
+        scenario.mobility.coverage_radius = Meters::new(point.mobility.coverage_radius_m);
         scenario.validate()?;
         Ok(scenario)
+    }
+
+    /// The ground-truth simulator reseeded for one replication of a campaign
+    /// operating point: identical laws, monitor and noise configuration,
+    /// only the RNG streams differ. Campaign evaluations pass
+    /// `RepContext::seed` here so each replication is an independent
+    /// measurement of the same operating point.
+    #[must_use]
+    pub fn testbed_for_seed(&self, seed: u64) -> TestbedSimulator {
+        self.testbed.reseeded(seed)
     }
 
     /// The campaign runner every experiment drives: worker count from
@@ -207,5 +226,21 @@ mod tests {
     fn sweep_constants_match_the_paper() {
         assert_eq!(ExperimentContext::FRAME_SIZES.len(), 5);
         assert_eq!(ExperimentContext::CPU_CLOCKS, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn static_mobility_condition_equals_the_scenario_default() {
+        // `scenario_for` applies the point's mobility condition
+        // unconditionally, which is only override-free for baseline grids
+        // because `MobilityCondition::static_device()` mirrors
+        // `MobilityConfig::default()`. xr-sweep cannot depend on xr-core,
+        // so this cross-crate guard keeps the two literals tied together.
+        let condition = MobilityCondition::static_device();
+        let default = xr_core::MobilityConfig::default();
+        assert_eq!(condition.speed_mps, default.speed.as_f64());
+        assert_eq!(
+            condition.coverage_radius_m,
+            default.coverage_radius.as_f64()
+        );
     }
 }

@@ -13,7 +13,8 @@
 //! | Fig. 5(a)/(b) comparison with FACT and LEAF | [`comparison`] | `fig5a`, `fig5b` |
 //! | §VIII-A/B mean-error summary | [`errors`] | `error_summary` |
 //! | Eqs. 3/10/12/21 regression fits | [`regression_report`] | `regression_report` |
-//! | Consolidated five-axis sweep | [`campaign`] | `campaign` |
+//! | Consolidated six-axis replicated sweep | [`campaign`] | `campaign` |
+//! | Mobility: latency/handoffs vs speed × radius | [`mobility_experiments`] | `fig_mobility` |
 //!
 //! Each binary prints the rows/series the paper reports and writes a CSV
 //! artifact under `target/experiments/`. `run_all` chains everything in
@@ -33,15 +34,17 @@ pub mod comparison;
 pub mod context;
 pub mod errors;
 pub mod figures;
+pub mod mobility_experiments;
 pub mod output;
 pub mod regression_report;
 pub mod tables;
 
 pub use ablation::{AblationRow, AblationStudy};
 pub use aoi_experiments::{AoiPoint, AoiSweep, RoiPoint};
-pub use campaign::CampaignRow;
+pub use campaign::{CampaignRow, ReplicateStats};
 pub use comparison::{ComparisonPoint, ComparisonSweep, Metric};
 pub use context::ExperimentContext;
 pub use errors::ErrorSummary;
 pub use figures::{SweepPoint, SweepResult};
+pub use mobility_experiments::MobilityPoint;
 pub use regression_report::RegressionReport;

@@ -1,0 +1,164 @@
+//! The mobility figure: end-to-end latency and handoff rate over a device
+//! speed × coverage radius grid.
+//!
+//! The paper's handoff term (Eq. 17) predicts that latency degrades with
+//! device speed and recovers with coverage radius; this experiment measures
+//! that surface on the ground-truth testbed, where handoffs are *events* of
+//! a stateful random walk threaded through each session — not analytic
+//! expectations. Every operating point is measured with several
+//! independently seeded replications and reported as mean ± 95 % CI through
+//! the shared campaign engine, so the artifact is bit-identical for any
+//! worker count.
+
+use crate::campaign::{run_campaign_with, CampaignRow};
+use crate::context::ExperimentContext;
+use xr_sweep::{CampaignRunner, MobilityCondition, SweepGrid};
+use xr_types::{ExecutionTarget, Result};
+
+/// Column header of the mobility-figure CSV.
+pub const FIG_MOBILITY_HEADER: [&str; 9] = [
+    "speed_mps",
+    "radius_m",
+    "replications",
+    "gt_latency_ms_mean",
+    "gt_latency_ms_ci95_lo",
+    "gt_latency_ms_ci95_hi",
+    "gt_handoff_rate",
+    "proposed_latency_ms",
+    "mobility",
+];
+
+/// Device speeds swept by the mobility figure (m/s): static, pedestrian,
+/// cyclist, vehicle.
+pub const MOBILITY_SPEEDS: [f64; 4] = [0.0, 1.4, 10.0, 25.0];
+/// Coverage radii swept by the mobility figure (m): femtocell to small cell.
+pub const MOBILITY_RADII: [f64; 3] = [10.0, 20.0, 40.0];
+/// Replications per (speed, radius) operating point.
+pub const MOBILITY_REPLICATIONS: usize = 5;
+
+/// The speed × radius grid behind the mobility figure: remote inference on
+/// the held-out client at the Fig. 4 midpoint (500 px², 2 GHz), the
+/// cartesian product of [`MOBILITY_SPEEDS`] and [`MOBILITY_RADII`] as the
+/// mobility axis, and [`MOBILITY_REPLICATIONS`] independently seeded
+/// sessions per point.
+#[must_use]
+pub fn mobility_grid() -> SweepGrid {
+    let mobility = MOBILITY_SPEEDS
+        .iter()
+        .flat_map(|&speed| {
+            MOBILITY_RADII.iter().map(move |&radius| {
+                if speed <= 0.0 {
+                    MobilityCondition::new(format!("static-r{radius:.0}"), 0.0, radius)
+                } else {
+                    MobilityCondition::new(format!("v{speed:.0}-r{radius:.0}"), speed, radius)
+                }
+            })
+        })
+        .collect();
+    SweepGrid::paper_panel(ExecutionTarget::Remote)
+        .with_frame_sizes([500.0])
+        .with_cpu_clocks([2.0])
+        .with_mobility(mobility)
+        .with_replications(MOBILITY_REPLICATIONS)
+}
+
+/// One row of the mobility figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobilityPoint {
+    /// Device speed (m/s).
+    pub speed_mps: f64,
+    /// Coverage radius (m).
+    pub coverage_radius_m: f64,
+    /// The aggregated campaign measurement at this point.
+    pub row: CampaignRow,
+}
+
+impl MobilityPoint {
+    /// CSV/console cells for the output layer.
+    #[must_use]
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            format!("{:.1}", self.speed_mps),
+            format!("{:.0}", self.coverage_radius_m),
+            self.row.replications.to_string(),
+            format!("{:.3}", self.row.gt_latency_ms.mean),
+            format!("{:.3}", self.row.gt_latency_ms.ci95_lo),
+            format!("{:.3}", self.row.gt_latency_ms.ci95_hi),
+            format!("{:.4}", self.row.gt_handoff_rate),
+            format!("{:.3}", self.row.proposed_latency_ms),
+            self.row.point.mobility.label.clone(),
+        ]
+    }
+}
+
+/// Runs the mobility sweep and returns one point per (speed, radius) cell
+/// in grid order (radius varies fastest).
+///
+/// # Errors
+///
+/// Propagates grid, scenario and model errors.
+pub fn mobility_sweep(ctx: &ExperimentContext) -> Result<Vec<MobilityPoint>> {
+    mobility_sweep_with(ctx, &ctx.runner())
+}
+
+/// [`mobility_sweep`] with an explicit runner (determinism tests pin the
+/// worker count).
+///
+/// # Errors
+///
+/// Propagates grid, scenario and model errors.
+pub fn mobility_sweep_with(
+    ctx: &ExperimentContext,
+    runner: &CampaignRunner,
+) -> Result<Vec<MobilityPoint>> {
+    let rows = run_campaign_with(ctx, &mobility_grid(), runner)?;
+    Ok(rows
+        .into_iter()
+        .map(|row| MobilityPoint {
+            speed_mps: row.point.mobility.speed_mps,
+            coverage_radius_m: row.point.mobility.coverage_radius_m,
+            row,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobility_sweep_covers_the_speed_radius_grid() {
+        let ctx = ExperimentContext::quick(21).unwrap();
+        let points = mobility_sweep(&ctx).unwrap();
+        assert_eq!(points.len(), MOBILITY_SPEEDS.len() * MOBILITY_RADII.len());
+        for point in &points {
+            assert!(point.row.gt_latency_ms.mean > 0.0);
+            assert_eq!(point.row.replications, MOBILITY_REPLICATIONS);
+            assert_eq!(point.cells().len(), FIG_MOBILITY_HEADER.len());
+        }
+        // Static cells never hand off …
+        for point in points.iter().filter(|p| p.speed_mps <= 0.0) {
+            assert_eq!(point.row.gt_handoff_rate, 0.0);
+        }
+        // … while the fast-walker/small-zone corner must.
+        let corner = points
+            .iter()
+            .find(|p| p.speed_mps == 25.0 && p.coverage_radius_m == 10.0)
+            .expect("corner cell present");
+        assert!(
+            corner.row.gt_handoff_rate > 0.0,
+            "vehicle in a 10 m cell never handed off"
+        );
+        // Handoffs carry a real latency penalty over the static baseline.
+        let static_same_radius = points
+            .iter()
+            .find(|p| p.speed_mps <= 0.0 && p.coverage_radius_m == 10.0)
+            .expect("static cell present");
+        assert!(
+            corner.row.gt_latency_ms.mean > static_same_radius.row.gt_latency_ms.mean,
+            "mobile latency {} should exceed static latency {}",
+            corner.row.gt_latency_ms.mean,
+            static_same_radius.row.gt_latency_ms.mean
+        );
+    }
+}

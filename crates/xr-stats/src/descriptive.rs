@@ -104,6 +104,29 @@ impl Summary {
             self.std_dev / self.mean
         }
     }
+
+    /// Two-sided Student-t confidence interval for the population mean at
+    /// the given confidence `level` (e.g. `0.95`), using `count − 1` degrees
+    /// of freedom. With fewer than two samples there is no dispersion
+    /// information and the degenerate `(mean, mean)` interval is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is outside `(0, 1)`.
+    #[must_use]
+    pub fn confidence_interval(&self, level: f64) -> (f64, f64) {
+        assert!(level > 0.0 && level < 1.0, "level must be in (0, 1)");
+        if self.count < 2 {
+            return (self.mean, self.mean);
+        }
+        let n = self.count as f64;
+        // `std_dev` is the population form; rescale to the sample (n − 1)
+        // estimator the t interval is built on.
+        let sample_std = self.std_dev * (n / (n - 1.0)).sqrt();
+        let t = crate::inference::students_t_quantile(0.5 + level / 2.0, n - 1.0);
+        let half_width = t * sample_std / n.sqrt();
+        (self.mean - half_width, self.mean + half_width)
+    }
 }
 
 impl fmt::Display for Summary {
@@ -191,6 +214,19 @@ mod tests {
         assert!((percentile_of_sorted(&sorted, 100.0) - 40.0).abs() < 1e-12);
         assert!((percentile_of_sorted(&sorted, 50.0) - 25.0).abs() < 1e-12);
         assert_eq!(percentile_of_sorted(&[7.0], 95.0), 7.0);
+    }
+
+    #[test]
+    fn confidence_interval_matches_the_direct_computation() {
+        let sample = [9.8, 10.1, 10.3, 9.9, 10.4];
+        let summary = Summary::of(&sample);
+        let (lo, hi) = summary.confidence_interval(0.95);
+        let (direct_lo, direct_hi) = crate::inference::mean_confidence_interval(&sample, 0.95);
+        assert!((lo - direct_lo).abs() < 1e-12);
+        assert!((hi - direct_hi).abs() < 1e-12);
+        assert!(lo < summary.mean() && summary.mean() < hi);
+        // One sample: degenerate interval.
+        assert_eq!(Summary::of(&[7.0]).confidence_interval(0.95), (7.0, 7.0));
     }
 
     #[test]

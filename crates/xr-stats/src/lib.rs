@@ -20,6 +20,9 @@
 //! * [`metrics`] — MAE, RMSE, MAPE, mean error %, and the *normalized
 //!   accuracy* measure of Fig. 5.
 //! * [`Summary`] — descriptive statistics for simulated traces.
+//! * [`inference`] — the Student-t distribution (incomplete-beta CDF and
+//!   quantile) and small-sample confidence intervals for replicated
+//!   campaign measurements.
 //! * [`split`] — seeded train/test splitting mirroring the paper's
 //!   119 465 / 36 083 sample split.
 //!
@@ -42,6 +45,7 @@
 
 pub mod descriptive;
 pub mod features;
+pub mod inference;
 pub mod matrix;
 pub mod metrics;
 pub mod regression;
@@ -49,6 +53,7 @@ pub mod split;
 
 pub use descriptive::Summary;
 pub use features::PolynomialFeatures;
+pub use inference::{mean_confidence_interval, students_t_quantile};
 pub use matrix::Matrix;
 pub use regression::{FittedLinearModel, LinearRegression};
 pub use split::TrainTestSplit;

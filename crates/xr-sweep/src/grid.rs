@@ -63,6 +63,55 @@ impl Default for WirelessCondition {
     }
 }
 
+/// One mobility condition of the sweep: the device's random-walk speed and
+/// the coverage radius of its serving zone. The
+/// [`MobilityCondition::static_device`] condition (zero speed) applies no
+/// overrides, reproducing the testbed's stationary default exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MobilityCondition {
+    /// Label used in campaign rows (e.g. `"static"`, `"walk"`, `"vehicle"`).
+    pub label: String,
+    /// Device speed in m/s; zero disables mobility entirely.
+    pub speed_mps: f64,
+    /// Coverage radius of the serving zone in metres.
+    pub coverage_radius_m: f64,
+}
+
+impl MobilityCondition {
+    /// The stationary default: no mobility, the scenario's nominal coverage
+    /// radius.
+    #[must_use]
+    pub fn static_device() -> Self {
+        Self {
+            label: "static".to_string(),
+            speed_mps: 0.0,
+            coverage_radius_m: 30.0,
+        }
+    }
+
+    /// A named mobility condition.
+    #[must_use]
+    pub fn new(label: impl Into<String>, speed_mps: f64, coverage_radius_m: f64) -> Self {
+        Self {
+            label: label.into(),
+            speed_mps,
+            coverage_radius_m,
+        }
+    }
+
+    /// `true` when the device does not move.
+    #[must_use]
+    pub fn is_static(&self) -> bool {
+        self.speed_mps <= 0.0
+    }
+}
+
+impl Default for MobilityCondition {
+    fn default() -> Self {
+        Self::static_device()
+    }
+}
+
 /// One operating point of a campaign: the cartesian coordinates of a single
 /// measurement, plus its stable index in the grid's enumeration order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -84,11 +133,16 @@ pub struct OperatingPoint {
     pub device: String,
     /// Wireless condition applied to the scenario's edge links.
     pub wireless: WirelessCondition,
+    /// Mobility condition applied to the scenario's device.
+    pub mobility: MobilityCondition,
 }
 
-/// A campaign grid: the cartesian product of five axes, enumerated in a
-/// fixed row-major order (device, wireless, execution, CPU clock, frame
-/// size — frame size varies fastest, matching the Fig. 4 panel layout).
+/// A campaign grid: the cartesian product of six axes, enumerated in a
+/// fixed row-major order (device, wireless, mobility, execution, CPU clock,
+/// frame size — frame size varies fastest, matching the Fig. 4 panel
+/// layout), plus the per-point replication count (how many independently
+/// seeded sessions each operating point is measured with — not an
+/// enumeration axis, the collector aggregates replications into one row).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepGrid {
     frame_sizes: Vec<f64>,
@@ -96,6 +150,8 @@ pub struct SweepGrid {
     executions: Vec<ExecutionTarget>,
     devices: Vec<String>,
     wireless: Vec<WirelessCondition>,
+    mobility: Vec<MobilityCondition>,
+    replications: usize,
 }
 
 impl SweepGrid {
@@ -109,6 +165,8 @@ impl SweepGrid {
             executions: vec![execution],
             devices: vec![PAPER_EVAL_DEVICE.to_string()],
             wireless: vec![WirelessCondition::baseline()],
+            mobility: vec![MobilityCondition::static_device()],
+            replications: 1,
         }
     }
 
@@ -147,7 +205,28 @@ impl SweepGrid {
         self
     }
 
-    /// Number of operating points in the grid.
+    /// Replaces the mobility-condition axis.
+    #[must_use]
+    pub fn with_mobility(mut self, mobility: Vec<MobilityCondition>) -> Self {
+        self.mobility = mobility;
+        self
+    }
+
+    /// Sets the per-point replication count (clamped to at least 1).
+    #[must_use]
+    pub fn with_replications(mut self, replications: usize) -> Self {
+        self.replications = replications.max(1);
+        self
+    }
+
+    /// Number of independently seeded sessions per operating point.
+    #[must_use]
+    pub fn replications(&self) -> usize {
+        self.replications
+    }
+
+    /// Number of operating points in the grid (replications excluded — they
+    /// aggregate into the same row).
     #[must_use]
     pub fn len(&self) -> usize {
         self.frame_sizes.len()
@@ -155,6 +234,7 @@ impl SweepGrid {
             * self.executions.len()
             * self.devices.len()
             * self.wireless.len()
+            * self.mobility.len()
     }
 
     /// `true` when any axis is empty.
@@ -181,18 +261,21 @@ impl SweepGrid {
         let mut index = 0usize;
         for device in &self.devices {
             for wireless in &self.wireless {
-                for &execution in &self.executions {
-                    for &clock in &self.cpu_clocks {
-                        for &size in &self.frame_sizes {
-                            points.push(OperatingPoint {
-                                index,
-                                frame_size: size,
-                                cpu_clock_ghz: clock,
-                                execution,
-                                device: device.clone(),
-                                wireless: wireless.clone(),
-                            });
-                            index += 1;
+                for mobility in &self.mobility {
+                    for &execution in &self.executions {
+                        for &clock in &self.cpu_clocks {
+                            for &size in &self.frame_sizes {
+                                points.push(OperatingPoint {
+                                    index,
+                                    frame_size: size,
+                                    cpu_clock_ghz: clock,
+                                    execution,
+                                    device: device.clone(),
+                                    wireless: wireless.clone(),
+                                    mobility: mobility.clone(),
+                                });
+                                index += 1;
+                            }
                         }
                     }
                 }
@@ -223,7 +306,9 @@ mod tests {
             assert_eq!(p.index, i);
             assert_eq!(p.device, "XR2");
             assert!(p.wireless.is_baseline());
+            assert!(p.mobility.is_static());
         }
+        assert_eq!(grid.replications(), 1);
     }
 
     #[test]
@@ -252,5 +337,30 @@ mod tests {
         let grid = SweepGrid::paper_panel(ExecutionTarget::Local).with_frame_sizes([]);
         assert!(grid.is_empty());
         assert!(grid.points().is_err());
+        let grid = SweepGrid::paper_panel(ExecutionTarget::Local).with_mobility(vec![]);
+        assert!(grid.points().is_err());
+    }
+
+    #[test]
+    fn mobility_axis_multiplies_and_replications_clamp() {
+        let grid = SweepGrid::paper_panel(ExecutionTarget::Remote)
+            .with_frame_sizes([500.0])
+            .with_cpu_clocks([2.0])
+            .with_mobility(vec![
+                MobilityCondition::static_device(),
+                MobilityCondition::new("vehicle", 20.0, 15.0),
+            ])
+            .with_replications(0);
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid.replications(), 1, "replications clamp to at least 1");
+        let points = grid.points().unwrap();
+        assert!(points[0].mobility.is_static());
+        assert_eq!(points[1].mobility.label, "vehicle");
+        assert_eq!(points[1].mobility.speed_mps, 20.0);
+        assert_eq!(points[1].mobility.coverage_radius_m, 15.0);
+        assert!(!points[1].mobility.is_static());
+        let grid = grid.with_replications(7);
+        assert_eq!(grid.replications(), 7);
+        assert_eq!(grid.len(), 2, "replications are not an enumeration axis");
     }
 }

@@ -8,14 +8,22 @@
 //! crate does the same for the xr-perf workspace:
 //!
 //! - [`SweepGrid`] enumerates operating points over frame size, CPU clock,
-//!   execution target, client device, and wireless condition in a fixed
-//!   row-major order (device → wireless → execution → clock → frame size,
-//!   frame size innermost — the ordering the Fig. 4 panels print).
+//!   execution target, client device, wireless condition, and mobility
+//!   condition (speed × coverage radius) in a fixed row-major order
+//!   (device → wireless → mobility → execution → clock → frame size, frame
+//!   size innermost — the ordering the Fig. 4 panels print). A grid also
+//!   carries a per-point `replications` count: how many independently
+//!   seeded sessions each operating point is measured with.
 //! - [`CampaignRunner`] executes the points with `std::thread::scope` over a
 //!   configurable worker count. Each point's random seed is derived
 //!   deterministically from `(campaign_seed, point_index)` via
-//!   [`point_seed`], so campaign results are **bit-identical regardless of
-//!   thread count or scheduling order**.
+//!   [`point_seed`] — and each replication's from
+//!   `(campaign_seed, point_index, rep_index)` via [`replication_seed`] —
+//!   so campaign results are **bit-identical regardless of thread count or
+//!   scheduling order**.
+//! - [`spec::parse_grid_spec`] turns a `key = value` grid file into a
+//!   [`SweepGrid`], so campaigns are data-defined (`campaign --grid
+//!   <file>`), not recompiled.
 //! - [`InOrderCollector`] streams completed results back into point order so
 //!   rows can be appended to the existing CSV output layer as they finish,
 //!   without ever reordering the artifact.
@@ -41,8 +49,10 @@ pub mod collector;
 pub mod grid;
 pub mod runner;
 pub mod seed;
+pub mod spec;
 
 pub use collector::InOrderCollector;
-pub use grid::{OperatingPoint, SweepGrid, WirelessCondition};
-pub use runner::{CampaignRunner, PointContext};
-pub use seed::point_seed;
+pub use grid::{MobilityCondition, OperatingPoint, SweepGrid, WirelessCondition};
+pub use runner::{CampaignRunner, PointContext, RepContext};
+pub use seed::{point_seed, replication_seed};
+pub use spec::parse_grid_spec;

@@ -1,7 +1,7 @@
 //! The parallel campaign executor.
 
 use crate::collector::InOrderCollector;
-use crate::seed::point_seed;
+use crate::seed::{point_seed, replication_seed};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use xr_types::{Error, Result};
@@ -13,6 +13,20 @@ pub struct PointContext {
     /// The point's position in the grid's enumeration order.
     pub index: usize,
     /// Seed derived from `(campaign_seed, index)` via [`point_seed`].
+    pub seed: u64,
+}
+
+/// Everything a replicated evaluation closure may depend on: the operating
+/// point's index, which replication of it this is, and the replication's
+/// deterministically derived seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepContext {
+    /// The operating point's position in the grid's enumeration order.
+    pub point_index: usize,
+    /// Which independent repetition of the point this is (0-based).
+    pub rep_index: usize,
+    /// Seed derived from `(campaign_seed, point_index, rep_index)` via
+    /// [`replication_seed`].
     pub seed: u64,
 }
 
@@ -131,6 +145,85 @@ impl CampaignRunner {
             "a successful campaign leaves no held-back rows"
         );
         Ok(())
+    }
+
+    /// Evaluates every point `replications` times (clamped to at least 1)
+    /// and returns, in point order, the vector of replication results for
+    /// each point. Work is distributed at `(point, replication)` granularity
+    /// — a campaign with few points and many replications still saturates
+    /// the worker pool — and every replication's seed is a pure function of
+    /// `(campaign_seed, point_index, rep_index)` via [`replication_seed`],
+    /// so the output is bit-identical for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CampaignRunner::run`]: the error of the
+    /// lowest-indexed failing `(point, replication)` item wins.
+    pub fn run_replicated<P, R, F>(
+        &self,
+        points: &[P],
+        replications: usize,
+        eval: F,
+    ) -> Result<Vec<Vec<R>>>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(RepContext, &P) -> Result<R> + Sync,
+    {
+        let mut groups = Vec::with_capacity(points.len());
+        self.run_replicated_streaming(points, replications, eval, |_, group| {
+            groups.push(group);
+        })?;
+        Ok(groups)
+    }
+
+    /// Replicated evaluation with streaming collection: once every
+    /// replication of an operating point has completed, the point's result
+    /// vector (always of length `max(replications, 1)`, in replication
+    /// order) is handed to `sink` — **in point order**, like
+    /// [`CampaignRunner::run_streaming`]. This is the aggregation bridge a
+    /// mean-±-CI campaign row rides on.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CampaignRunner::run`].
+    pub fn run_replicated_streaming<P, R, F, S>(
+        &self,
+        points: &[P],
+        replications: usize,
+        eval: F,
+        mut sink: S,
+    ) -> Result<()>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(RepContext, &P) -> Result<R> + Sync,
+        S: FnMut(usize, Vec<R>) + Send,
+    {
+        let reps = replications.max(1);
+        let items: Vec<(usize, usize)> = (0..points.len())
+            .flat_map(|point| (0..reps).map(move |rep| (point, rep)))
+            .collect();
+        let mut group: Vec<R> = Vec::with_capacity(reps);
+        self.run_streaming(
+            &items,
+            |_, &(point_index, rep_index): &(usize, usize)| {
+                let context = RepContext {
+                    point_index,
+                    rep_index,
+                    seed: replication_seed(self.campaign_seed, point_index, rep_index),
+                };
+                eval(context, &points[point_index])
+            },
+            |index, value| {
+                // Items stream in (point-major) order, so each contiguous
+                // run of `reps` results belongs to one point.
+                group.push(value);
+                if group.len() == reps {
+                    sink(index / reps, std::mem::take(&mut group));
+                }
+            },
+        )
     }
 
     /// The shared worker loop: claims indices from an atomic cursor, calls
@@ -265,6 +358,58 @@ mod tests {
         for (i, (index, value)) in seen.iter().enumerate() {
             assert_eq!(*index, i);
             assert_eq!(*value, i * 3);
+        }
+    }
+
+    #[test]
+    fn replicated_runs_group_in_point_order_for_any_worker_count() {
+        let points: Vec<u64> = (0..11).collect();
+        let eval = |ctx: RepContext, p: &u64| {
+            Ok::<_, Error>((*p, ctx.rep_index, ctx.seed ^ p.wrapping_mul(7)))
+        };
+        let reference = CampaignRunner::new(1)
+            .with_campaign_seed(42)
+            .run_replicated(&points, 3, eval)
+            .unwrap();
+        assert_eq!(reference.len(), 11);
+        for (p, group) in reference.iter().enumerate() {
+            assert_eq!(group.len(), 3);
+            for (r, entry) in group.iter().enumerate() {
+                assert_eq!(entry.0, p as u64);
+                assert_eq!(entry.1, r);
+            }
+        }
+        for workers in [2, 5, 32] {
+            let parallel = CampaignRunner::new(workers)
+                .with_campaign_seed(42)
+                .run_replicated(&points, 3, eval)
+                .unwrap();
+            assert_eq!(parallel, reference, "{workers} workers diverged");
+        }
+        // Zero replications clamp to one.
+        let single = CampaignRunner::new(4)
+            .with_campaign_seed(42)
+            .run_replicated(&points, 0, eval)
+            .unwrap();
+        assert!(single.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn replicated_streaming_emits_complete_groups_in_order() {
+        let points: Vec<usize> = (0..7).collect();
+        let mut seen = Vec::new();
+        CampaignRunner::new(3)
+            .run_replicated_streaming(
+                &points,
+                4,
+                |ctx, p| Ok::<_, Error>(p * 100 + ctx.rep_index),
+                |point, group| seen.push((point, group)),
+            )
+            .unwrap();
+        assert_eq!(seen.len(), 7);
+        for (i, (point, group)) in seen.iter().enumerate() {
+            assert_eq!(*point, i);
+            assert_eq!(*group, (0..4).map(|r| i * 100 + r).collect::<Vec<_>>());
         }
     }
 

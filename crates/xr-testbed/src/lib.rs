@@ -47,4 +47,4 @@ pub use aoi::AoiGroundTruth;
 pub use dataset::{CalibratedModels, MeasurementCampaign, MeasurementDataset};
 pub use laws::{DeviceBias, TrueLaws};
 pub use power::{PowerMonitor, PowerTrace};
-pub use simulator::{GroundTruthFrame, GroundTruthSession, TestbedSimulator};
+pub use simulator::{GroundTruthFrame, GroundTruthSession, SessionState, TestbedSimulator};

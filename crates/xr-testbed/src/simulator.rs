@@ -5,6 +5,34 @@
 //! analytical regressions, draws stochastic queueing/wireless/measurement
 //! noise, and measures energy through the simulated Monsoon monitor. The
 //! output plays the role of the "Ground Truth (GT)" curves in Figs. 4–5.
+//!
+//! ## The staged frame pipeline
+//!
+//! A frame flows through explicit stages, each consuming its share of the
+//! per-frame RNG stream in a fixed order (the order is load-bearing: it is
+//! what makes a static session bit-reproducible across refactors):
+//!
+//! 1. **generate** — capture, ISP compute, volumetric data;
+//! 2. **sense** — external sensor updates and propagation;
+//! 3. **buffer** — M/M/1 input-buffer sojourn sampling;
+//! 4. **encode** — frame conversion (local path) / H.264 encoding (edge path);
+//! 5. **local inference** — the on-device CNN share;
+//! 6. **uplink + edge compute** — wireless transmission and remote
+//!    decode/infer over every edge server;
+//! 7. **handoff** — mobility: in a session, a stateful [`RandomWalker`]
+//!    advances one frame window and every coverage-boundary crossing is a
+//!    real handoff event; for a standalone frame (no [`SessionState`]
+//!    walker) the legacy Bernoulli draw over the analytic `P(HO)` applies;
+//! 8. **render + downlink** — result delivery and display rendering;
+//! 9. **cooperate** — XR-cooperation exchange;
+//! 10. **finalize** — Eq. 1 gating of the end-to-end total and the
+//!     Monsoon-style energy measurement.
+//!
+//! Stages 1–9 append to the frame's private `FrameState`; session-scoped
+//! state (the mobility walker, handoff counters) lives in [`SessionState`]
+//! and is threaded through [`TestbedSimulator::simulate_session`] frame by
+//! frame, which is why [`GroundTruthSession::handoff_rate`] is nonzero for
+//! a moving user.
 
 use crate::laws::{DeviceBias, TrueLaws};
 use crate::power::PowerMonitor;
@@ -17,7 +45,7 @@ use xr_core::Scenario;
 use xr_devices::DeviceCatalog;
 use xr_stats::Summary;
 use xr_types::{Joules, Ratio, Result, Seconds, Segment, Watts, SPEED_OF_LIGHT};
-use xr_wireless::{CoverageZone, HandoffKind, RandomWalkMobility, WirelessLink};
+use xr_wireless::{CoverageZone, HandoffKind, RandomWalkMobility, RandomWalker, WirelessLink};
 
 /// Ground-truth measurements for one frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -194,6 +222,22 @@ impl TestbedSimulator {
         self
     }
 
+    /// A copy of this simulator with a different seed but identical laws,
+    /// monitor and noise configuration — one per replication of a campaign
+    /// operating point.
+    #[must_use]
+    pub fn reseeded(&self, seed: u64) -> Self {
+        let mut simulator = self.clone();
+        simulator.seed = seed;
+        simulator
+    }
+
+    /// The simulator's base seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The true laws in effect.
     #[must_use]
     pub fn laws(&self) -> &TrueLaws {
@@ -233,7 +277,31 @@ impl TestbedSimulator {
         }
     }
 
-    /// Simulates one frame and returns the ground-truth measurements.
+    /// Whether `segment` contributes to this scenario's end-to-end totals
+    /// (the Eq. 1 gating shared by the latency and energy finalizers).
+    fn segment_included(
+        scenario: &Scenario,
+        segment: Segment,
+        uses_local: bool,
+        uses_edge: bool,
+    ) -> bool {
+        scenario.segments.contains(segment)
+            && match segment {
+                Segment::FrameConversion | Segment::LocalInference => uses_local,
+                Segment::FrameEncoding
+                | Segment::RemoteInference
+                | Segment::Transmission
+                | Segment::Handoff => uses_edge,
+                Segment::XrCooperation => scenario.cooperation.include_in_totals,
+                _ => true,
+            }
+    }
+
+    /// Simulates one standalone frame and returns the ground-truth
+    /// measurements. Without session state the handoff stage falls back to a
+    /// Bernoulli draw over the analytic `P(HO)`; sessions instead thread a
+    /// stateful walker via [`TestbedSimulator::simulate_session`] /
+    /// [`TestbedSimulator::simulate_frame_in_session`].
     ///
     /// # Errors
     ///
@@ -243,170 +311,208 @@ impl TestbedSimulator {
         scenario: &Scenario,
         frame_index: u64,
     ) -> Result<GroundTruthFrame> {
+        let mut session = SessionState::standalone();
+        self.simulate_frame_in_session(scenario, frame_index, &mut session)
+    }
+
+    /// Simulates one frame as part of an ongoing session, advancing the
+    /// session's mobility walker by one frame window.
+    ///
+    /// # Errors
+    ///
+    /// Returns scenario-validation errors.
+    pub fn simulate_frame_in_session(
+        &self,
+        scenario: &Scenario,
+        frame_index: u64,
+        session: &mut SessionState,
+    ) -> Result<GroundTruthFrame> {
         scenario.validate()?;
-        let mut rng =
-            StdRng::seed_from_u64(self.seed ^ frame_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut state = FrameState::new(self, scenario, frame_index);
+        self.stage_generate(&mut state);
+        self.stage_sense(&mut state);
+        self.stage_buffer(&mut state);
+        self.stage_encode(&mut state);
+        self.stage_local_inference(&mut state);
+        self.stage_uplink_and_edge(&mut state);
+        self.stage_handoff(&mut state, session);
+        self.stage_render(&mut state);
+        self.stage_cooperate(&mut state);
+        Ok(self.finalize(state, frame_index))
+    }
 
-        let bias = DeviceBias::for_device(&scenario.client.name);
-        let client = &scenario.client;
-        let frame = &scenario.frame;
-        let memory = client.memory_bandwidth;
-        let c_true =
-            self.laws
-                .compute_resource(client.cpu_clock, client.gpu_clock, client.cpu_share, bias);
+    /// Stage 1 — frame generation (capture interval + ISP compute + memory
+    /// writes) and volumetric data generation.
+    fn stage_generate(&self, s: &mut FrameState<'_>) {
+        let frame = &s.scenario.frame;
+        let generation = (frame.frame_rate.period()
+            + Self::ms(frame.raw_size.as_f64(), s.c_true)
+            + frame.raw_data / s.memory)
+            * self.noise(&mut s.rng);
+        s.latency.insert(Segment::FrameGeneration, generation);
+        let volumetric = (Self::ms(frame.scene_size.as_f64(), s.c_true)
+            + frame.volumetric_data / s.memory)
+            * self.noise(&mut s.rng);
+        s.latency
+            .insert(Segment::VolumetricDataGeneration, volumetric);
+    }
 
-        let uses_local = scenario.execution.uses_client();
-        let uses_edge = scenario.execution.uses_edge();
-        let client_share = scenario.execution.client_share();
-        let edge_share = scenario.execution.edge_share();
-
-        let mut latency: BTreeMap<Segment, Seconds> = BTreeMap::new();
-
-        // Frame generation (capture interval + ISP compute + memory writes).
-        latency.insert(
-            Segment::FrameGeneration,
-            (frame.frame_rate.period()
-                + Self::ms(frame.raw_size.as_f64(), c_true)
-                + frame.raw_data / memory)
-                * self.noise(&mut rng),
-        );
-
-        // Volumetric data generation.
-        latency.insert(
-            Segment::VolumetricDataGeneration,
-            (Self::ms(frame.scene_size.as_f64(), c_true) + frame.volumetric_data / memory)
-                * self.noise(&mut rng),
-        );
-
-        // External sensor information: per-update generation + propagation
-        // with jitter; slowest sensor dominates.
+    /// Stage 2 — external sensor information: per-update generation +
+    /// propagation with jitter; slowest sensor dominates.
+    fn stage_sense(&self, s: &mut FrameState<'_>) {
         let mut ext = Seconds::ZERO;
-        for sensor in &scenario.sensors {
+        for sensor in &s.scenario.sensors {
             let mut sensor_total = Seconds::ZERO;
-            for _ in 0..scenario.updates_per_frame {
-                let jitter = 1.0 + rng.gen_range(-0.05..0.05);
+            for _ in 0..s.scenario.updates_per_frame {
+                let jitter = 1.0 + s.rng.gen_range(-0.05..0.05);
                 sensor_total += sensor.generation_frequency.period() * jitter
                     + sensor.distance / SPEED_OF_LIGHT;
             }
             ext = ext.max(sensor_total);
         }
-        latency.insert(Segment::ExternalSensorInformation, ext);
+        s.latency.insert(Segment::ExternalSensorInformation, ext);
+    }
 
-        // Input-buffer waiting: each flow's sojourn time is exponentially
-        // distributed with rate (µ − λ) in a stable M/M/1 queue.
-        let mu = scenario.buffer.service_rate;
-        let frame_rate = frame.frame_rate.as_f64();
-        let mut buffering = Seconds::ZERO;
+    /// Stage 3 — input-buffer waiting: each flow's sojourn time is
+    /// exponentially distributed with rate (µ − λ) in a stable M/M/1 queue.
+    /// The sampled sojourn is consumed by the render stage.
+    fn stage_buffer(&self, s: &mut FrameState<'_>) {
+        let mu = s.scenario.buffer.service_rate;
+        let frame_rate = s.scenario.frame.frame_rate.as_f64();
         for lambda in [
-            scenario.buffer.frame_arrival_rate.unwrap_or(frame_rate),
-            scenario
+            s.scenario.buffer.frame_arrival_rate.unwrap_or(frame_rate),
+            s.scenario
                 .buffer
                 .volumetric_arrival_rate
                 .unwrap_or(frame_rate),
-            scenario.external_arrival_rate(),
+            s.scenario.external_arrival_rate(),
         ] {
             if lambda <= 0.0 || lambda >= mu {
                 continue;
             }
             let exp = Exp::new(mu - lambda).expect("positive rate");
-            buffering += Seconds::new(exp.sample(&mut rng));
+            s.buffering += Seconds::new(exp.sample(&mut s.rng));
         }
+    }
 
-        // Frame conversion (local path only).
-        latency.insert(
-            Segment::FrameConversion,
-            if uses_local {
-                (Self::ms(frame.raw_size.as_f64(), c_true) + frame.raw_data / memory)
-                    * self.noise(&mut rng)
-            } else {
-                Seconds::ZERO
-            },
-        );
+    /// Stage 4 — frame conversion (local path) and H.264 encoding (edge
+    /// path), using the true encoder law.
+    fn stage_encode(&self, s: &mut FrameState<'_>) {
+        let frame = &s.scenario.frame;
+        let conversion = if s.uses_local {
+            (Self::ms(frame.raw_size.as_f64(), s.c_true) + frame.raw_data / s.memory)
+                * self.noise(&mut s.rng)
+        } else {
+            Seconds::ZERO
+        };
+        s.latency.insert(Segment::FrameConversion, conversion);
+        s.encode_work = self.laws.encoding_work(&s.scenario.encoding, frame, s.bias);
+        let encoding = if s.uses_edge {
+            (Self::ms(s.encode_work, s.c_true) + frame.raw_data / s.memory) * self.noise(&mut s.rng)
+        } else {
+            Seconds::ZERO
+        };
+        s.latency.insert(Segment::FrameEncoding, encoding);
+    }
 
-        // Frame encoding (remote path only), using the true encoder law.
-        let encode_work = self.laws.encoding_work(&scenario.encoding, frame, bias);
-        latency.insert(
-            Segment::FrameEncoding,
-            if uses_edge {
-                (Self::ms(encode_work, c_true) + frame.raw_data / memory) * self.noise(&mut rng)
-            } else {
-                Seconds::ZERO
-            },
-        );
+    /// Stage 5 — the on-device CNN share.
+    fn stage_local_inference(&self, s: &mut FrameState<'_>) {
+        let frame = &s.scenario.frame;
+        let local_complexity = self.laws.cnn_complexity(&s.scenario.local_cnn);
+        let local = if s.uses_local && s.client_share > 0.0 {
+            (Self::ms(frame.converted_size.as_f64() * local_complexity, s.c_true)
+                + frame.converted_data / s.memory)
+                * s.client_share
+                * self.noise(&mut s.rng)
+        } else {
+            Seconds::ZERO
+        };
+        s.latency.insert(Segment::LocalInference, local);
+    }
 
-        // Local inference.
-        let local_complexity = self.laws.cnn_complexity(&scenario.local_cnn);
-        latency.insert(
-            Segment::LocalInference,
-            if uses_local && client_share > 0.0 {
-                (Self::ms(frame.converted_size.as_f64() * local_complexity, c_true)
-                    + frame.converted_data / memory)
-                    * client_share
-                    * self.noise(&mut rng)
-            } else {
-                Seconds::ZERO
-            },
-        );
-
-        // Remote inference: weighted-slowest edge server (decode + infer).
+    /// Stage 6 — uplink transmission and remote inference: weighted-slowest
+    /// edge server (decode + infer) and slowest uplink.
+    fn stage_uplink_and_edge(&self, s: &mut FrameState<'_>) {
+        let scenario = s.scenario;
+        let frame = &scenario.frame;
         let remote_complexity = self.laws.cnn_complexity(&scenario.remote_cnn);
         let mut remote = Seconds::ZERO;
         let mut transmission = Seconds::ZERO;
-        if uses_edge && !scenario.edge_servers.is_empty() {
-            let total_share: f64 = scenario.edge_servers.iter().map(|s| s.task_share).sum();
+        if s.uses_edge && !scenario.edge_servers.is_empty() {
+            let total_share: f64 = scenario.edge_servers.iter().map(|srv| srv.task_share).sum();
             for (i, server) in scenario.edge_servers.iter().enumerate() {
-                let c_edge = self.edge_resource(scenario, i, c_true);
+                let c_edge = self.edge_resource(scenario, i, s.c_true);
                 let weight = if total_share > 0.0 {
-                    server.task_share / total_share * edge_share
+                    server.task_share / total_share * s.edge_share
                 } else {
                     0.0
                 };
-                let decode = Self::ms(encode_work * self.laws.decode_discount(), c_edge);
+                let decode = Self::ms(s.encode_work * self.laws.decode_discount(), c_edge);
                 let infer = Self::ms(frame.encoded_size.as_f64() * remote_complexity, c_edge)
                     + frame.encoded_data / server.memory_bandwidth
                     + decode;
-                remote = remote.max(infer * weight * self.noise(&mut rng));
+                remote = remote.max(infer * weight * self.noise(&mut s.rng));
 
                 let link = WirelessLink::new(server.technology, server.distance);
                 let link = match server.throughput {
                     Some(t) => link.with_throughput(t),
                     None => link,
                 };
-                let wireless_jitter = 1.0 + rng.gen_range(0.0..0.12);
+                let wireless_jitter = 1.0 + s.rng.gen_range(0.0..0.12);
                 let tx = link.transmission_latency(frame.encoded_data) * wireless_jitter;
                 transmission = transmission.max(tx);
             }
         }
-        latency.insert(Segment::RemoteInference, remote);
-        latency.insert(Segment::Transmission, transmission);
+        s.latency.insert(Segment::RemoteInference, remote);
+        s.latency.insert(Segment::Transmission, transmission);
+    }
 
-        // Handoff: Bernoulli event with the mobility model's probability.
-        let mut handoff_occurred = false;
-        let handoff_latency = if uses_edge && scenario.mobility.speed.as_f64() > 0.0 {
-            let mobility = RandomWalkMobility::new(
-                scenario.mobility.speed,
-                Seconds::new(0.1),
-                CoverageZone::new(scenario.mobility.coverage_radius),
-            );
-            let p = mobility.handoff_probability(scenario.frame_window());
-            if rng.gen_bool(p.clamp(0.0, 1.0)) {
-                handoff_occurred = true;
+    /// Stage 7 — mobility and handoff. With session state, the stateful
+    /// random walker advances one frame window and any coverage-boundary
+    /// crossing is a handoff; for a standalone frame, a Bernoulli draw over
+    /// the analytic per-window `P(HO)` stands in.
+    fn stage_handoff(&self, s: &mut FrameState<'_>, session: &mut SessionState) {
+        let scenario = s.scenario;
+        let handoff_latency = if s.uses_edge && scenario.mobility.speed.as_f64() > 0.0 {
+            let crossings = match session.walker.as_mut() {
+                Some(walker) => walker.advance(scenario.frame_window()),
+                None => {
+                    let mobility = RandomWalkMobility::new(
+                        scenario.mobility.speed,
+                        Seconds::new(0.1),
+                        CoverageZone::new(scenario.mobility.coverage_radius),
+                    );
+                    let p = mobility.handoff_probability(scenario.frame_window());
+                    usize::from(s.rng.gen_bool(p.clamp(0.0, 1.0)))
+                }
+            };
+            if crossings > 0 {
+                // A sub-10-fps frame window spans several walk steps, so one
+                // frame can cross more than once; each crossing pays the
+                // handoff latency.
+                s.handoff_occurred = true;
+                session.handoffs += crossings as u64;
                 let base = match scenario.mobility.handoff_kind {
                     HandoffKind::Horizontal => Seconds::new(0.065),
                     HandoffKind::Vertical => Seconds::new(1.2),
                 };
-                base * self.noise(&mut rng)
+                base * crossings as f64 * self.noise(&mut s.rng)
             } else {
                 Seconds::ZERO
             }
         } else {
             Seconds::ZERO
         };
-        latency.insert(Segment::Handoff, handoff_latency);
+        s.latency.insert(Segment::Handoff, handoff_latency);
+    }
 
-        // Rendering: compute + memory + buffering + result delivery.
+    /// Stage 8 — rendering and downlink: compute + memory + buffered input +
+    /// result delivery over the first edge link (or local memory).
+    fn stage_render(&self, s: &mut FrameState<'_>) {
+        let scenario = s.scenario;
+        let frame = &scenario.frame;
         let result_payload = xr_types::MegaBytes::new(0.01);
-        let result_delivery = if uses_edge && !scenario.edge_servers.is_empty() {
+        let result_delivery = if s.uses_edge && !scenario.edge_servers.is_empty() {
             let server = &scenario.edge_servers[0];
             let link = WirelessLink::new(server.technology, server.distance);
             let link = match server.throughput {
@@ -415,63 +521,44 @@ impl TestbedSimulator {
             };
             link.transmission_latency(result_payload)
         } else {
-            result_payload / memory
+            result_payload / s.memory
         };
-        latency.insert(
-            Segment::FrameRendering,
-            (Self::ms(frame.raw_size.as_f64(), c_true) + frame.raw_data / memory)
-                * self.noise(&mut rng)
-                + buffering
-                + result_delivery,
-        );
+        let rendering = (Self::ms(frame.raw_size.as_f64(), s.c_true) + frame.raw_data / s.memory)
+            * self.noise(&mut s.rng)
+            + s.buffering
+            + result_delivery;
+        s.latency.insert(Segment::FrameRendering, rendering);
+    }
 
-        // Cooperation.
-        latency.insert(
-            Segment::XrCooperation,
-            (scenario.cooperation.payload / scenario.cooperation.throughput
-                + scenario.cooperation.distance / SPEED_OF_LIGHT)
-                * self.noise(&mut rng),
-        );
+    /// Stage 9 — XR cooperation exchange.
+    fn stage_cooperate(&self, s: &mut FrameState<'_>) {
+        let cooperation = &s.scenario.cooperation;
+        let coop = (cooperation.payload / cooperation.throughput
+            + cooperation.distance / SPEED_OF_LIGHT)
+            * self.noise(&mut s.rng);
+        s.latency.insert(Segment::XrCooperation, coop);
+    }
 
-        // End-to-end total, gated exactly like Eq. 1.
+    /// Stage 10 — Eq. 1 gating of the end-to-end total and the Monsoon-style
+    /// energy measurement over the per-segment durations.
+    fn finalize(&self, s: FrameState<'_>, frame_index: u64) -> GroundTruthFrame {
+        let scenario = s.scenario;
         let mut total_latency = Seconds::ZERO;
-        for (segment, value) in &latency {
-            if !scenario.segments.contains(*segment) {
-                continue;
-            }
-            let included = match segment {
-                Segment::FrameConversion | Segment::LocalInference => uses_local,
-                Segment::FrameEncoding
-                | Segment::RemoteInference
-                | Segment::Transmission
-                | Segment::Handoff => uses_edge,
-                Segment::XrCooperation => scenario.cooperation.include_in_totals,
-                _ => true,
-            };
-            if included {
+        for (segment, value) in &s.latency {
+            if Self::segment_included(scenario, *segment, s.uses_local, s.uses_edge) {
                 total_latency += *value;
             }
         }
 
-        // Energy: per-segment power levels measured by the Monsoon-style
-        // monitor over the per-segment durations.
+        let client = &scenario.client;
         let compute_power =
             self.laws
-                .mean_power(client.cpu_clock, client.gpu_clock, client.cpu_share, bias);
+                .mean_power(client.cpu_clock, client.gpu_clock, client.cpu_share, s.bias);
         let mut energy: BTreeMap<Segment, Joules> = BTreeMap::new();
         let mut phases: Vec<(Watts, Seconds)> = Vec::new();
         let mut compute_energy = Joules::ZERO;
-        for (segment, duration) in &latency {
-            let included = scenario.segments.contains(*segment)
-                && match segment {
-                    Segment::FrameConversion | Segment::LocalInference => uses_local,
-                    Segment::FrameEncoding
-                    | Segment::RemoteInference
-                    | Segment::Transmission
-                    | Segment::Handoff => uses_edge,
-                    Segment::XrCooperation => scenario.cooperation.include_in_totals,
-                    _ => true,
-                };
+        for (segment, duration) in &s.latency {
+            let included = Self::segment_included(scenario, *segment, s.uses_local, s.uses_edge);
             let power = match segment {
                 Segment::FrameGeneration
                 | Segment::VolumetricDataGeneration
@@ -506,16 +593,18 @@ impl TestbedSimulator {
         let thermal = compute_energy * self.thermal_fraction;
         let total_energy = trace.energy() + thermal;
 
-        Ok(GroundTruthFrame {
-            latency,
+        GroundTruthFrame {
+            latency: s.latency,
             total_latency,
             energy,
             total_energy,
-            handoff_occurred,
-        })
+            handoff_occurred: s.handoff_occurred,
+        }
     }
 
-    /// Simulates a session of `frames` frames.
+    /// Simulates a session of `frames` frames, threading a fresh
+    /// [`SessionState`] through the staged pipeline so device mobility (and
+    /// therefore [`GroundTruthSession::handoff_rate`]) evolves across frames.
     ///
     /// # Errors
     ///
@@ -527,10 +616,122 @@ impl TestbedSimulator {
                 "must be at least 1",
             ));
         }
+        let mut session = SessionState::new(self, scenario);
         let frames = (1..=frames)
-            .map(|i| self.simulate_frame(scenario, i))
+            .map(|i| self.simulate_frame_in_session(scenario, i, &mut session))
             .collect::<Result<Vec<_>>>()?;
         Ok(GroundTruthSession { frames })
+    }
+}
+
+/// Session-scoped simulation state threaded through the staged frame
+/// pipeline: the stateful mobility walker (present for a moving device) and
+/// the handoff tally.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    walker: Option<RandomWalker>,
+    handoffs: u64,
+}
+
+impl SessionState {
+    /// Session state for `scenario` under `simulator`: a moving device gets
+    /// a random walker with its own RNG stream (decorrelated from the
+    /// per-frame measurement RNGs), starting from a uniformly random
+    /// position in its coverage zone — the distribution the analytic
+    /// `P(HO)` assumes.
+    #[must_use]
+    pub fn new(simulator: &TestbedSimulator, scenario: &Scenario) -> Self {
+        let walker = (scenario.mobility.speed.as_f64() > 0.0).then(|| {
+            let mobility = RandomWalkMobility::new(
+                scenario.mobility.speed,
+                Seconds::new(0.1),
+                CoverageZone::new(scenario.mobility.coverage_radius),
+            );
+            let mut walker = mobility.walker(simulator.seed ^ 0xA076_1D64_78BD_642F);
+            walker.reset_uniform();
+            walker
+        });
+        Self {
+            walker,
+            handoffs: 0,
+        }
+    }
+
+    /// State for a standalone frame outside any session: no walker, so the
+    /// handoff stage falls back to the analytic Bernoulli draw.
+    #[must_use]
+    pub fn standalone() -> Self {
+        Self {
+            walker: None,
+            handoffs: 0,
+        }
+    }
+
+    /// Number of handoffs observed so far.
+    #[must_use]
+    pub fn handoff_count(&self) -> u64 {
+        self.handoffs
+    }
+
+    /// The mobility walker, when the device is moving and the state was
+    /// built by [`SessionState::new`].
+    #[must_use]
+    pub fn walker(&self) -> Option<&RandomWalker> {
+        self.walker.as_ref()
+    }
+}
+
+/// Per-frame working state of the staged pipeline: the frame's RNG stream,
+/// the derived operating-point quantities, and the accumulating per-segment
+/// latency map.
+#[derive(Debug)]
+struct FrameState<'a> {
+    scenario: &'a Scenario,
+    rng: StdRng,
+    bias: DeviceBias,
+    /// True compute resource of the client at this operating point.
+    c_true: f64,
+    memory: xr_types::GigaBytesPerSecond,
+    uses_local: bool,
+    uses_edge: bool,
+    client_share: f64,
+    edge_share: f64,
+    /// Encoder workload (pixel-equivalents), produced by the encode stage
+    /// and consumed by the edge-compute stage.
+    encode_work: f64,
+    /// Sampled input-buffer sojourn, produced by the buffer stage and
+    /// consumed by the render stage.
+    buffering: Seconds,
+    latency: BTreeMap<Segment, Seconds>,
+    handoff_occurred: bool,
+}
+
+impl<'a> FrameState<'a> {
+    fn new(simulator: &TestbedSimulator, scenario: &'a Scenario, frame_index: u64) -> Self {
+        let client = &scenario.client;
+        let bias = DeviceBias::for_device(&client.name);
+        Self {
+            scenario,
+            rng: StdRng::seed_from_u64(
+                simulator.seed ^ frame_index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+            bias,
+            c_true: simulator.laws.compute_resource(
+                client.cpu_clock,
+                client.gpu_clock,
+                client.cpu_share,
+                bias,
+            ),
+            memory: client.memory_bandwidth,
+            uses_local: scenario.execution.uses_client(),
+            uses_edge: scenario.execution.uses_edge(),
+            client_share: scenario.execution.client_share(),
+            edge_share: scenario.execution.edge_share(),
+            encode_work: 0.0,
+            buffering: Seconds::ZERO,
+            latency: BTreeMap::new(),
+            handoff_occurred: false,
+        }
     }
 }
 
@@ -647,21 +848,89 @@ mod tests {
         );
     }
 
-    #[test]
-    fn mobile_sessions_record_handoffs() {
-        let testbed = TestbedSimulator::new(5);
-        let s = Scenario::builder()
+    fn mobile_scenario(speed: f64, radius: f64) -> Scenario {
+        Scenario::builder()
             .execution(ExecutionTarget::Remote)
             .mobility(xr_core::MobilityConfig {
-                speed: MetersPerSecond::new(20.0),
-                coverage_radius: xr_types::Meters::new(30.0),
+                speed: MetersPerSecond::new(speed),
+                coverage_radius: xr_types::Meters::new(radius),
                 handoff_kind: HandoffKind::Vertical,
             })
             .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn mobile_sessions_record_handoffs() {
+        // Regression: a fast walker in a small zone must actually cross the
+        // coverage boundary during a session — before the session loop
+        // threaded a stateful walker, `handoff_rate` came from independent
+        // per-frame Bernoulli draws and sessions never tracked real mobility.
+        let testbed = TestbedSimulator::new(5);
+        let session = testbed
+            .simulate_session(&mobile_scenario(25.0, 8.0), 300)
             .unwrap();
-        let session = testbed.simulate_session(&s, 60).unwrap();
         assert!(session.handoff_rate() > 0.0);
         assert!(session.handoff_rate() < 1.0);
+    }
+
+    #[test]
+    fn session_handoffs_come_from_the_walker_and_scale_with_mobility() {
+        let testbed = TestbedSimulator::new(6);
+        // Static sessions never hand off.
+        let static_session = testbed
+            .simulate_session(&mobile_scenario(0.0, 8.0), 100)
+            .unwrap();
+        assert_eq!(static_session.handoff_rate(), 0.0);
+        // A larger zone at the same speed hands off less often.
+        let small = testbed
+            .simulate_session(&mobile_scenario(25.0, 6.0), 400)
+            .unwrap()
+            .handoff_rate();
+        let large = testbed
+            .simulate_session(&mobile_scenario(25.0, 60.0), 400)
+            .unwrap()
+            .handoff_rate();
+        assert!(
+            small > large,
+            "small-zone rate {small} should exceed large-zone rate {large}"
+        );
+    }
+
+    #[test]
+    fn session_state_tracks_handoffs_incrementally() {
+        let testbed = TestbedSimulator::new(8);
+        let s = mobile_scenario(25.0, 8.0);
+        let mut state = SessionState::new(&testbed, &s);
+        assert!(state.walker().is_some());
+        let mut occurred = 0u64;
+        for i in 1..=300 {
+            let frame = testbed
+                .simulate_frame_in_session(&s, i, &mut state)
+                .unwrap();
+            occurred += u64::from(frame.handoff_occurred);
+        }
+        assert_eq!(state.handoff_count(), occurred);
+        assert!(occurred > 0);
+        // Standalone state carries no walker and starts at zero.
+        let standalone = SessionState::standalone();
+        assert!(standalone.walker().is_none());
+        assert_eq!(standalone.handoff_count(), 0);
+    }
+
+    #[test]
+    fn standalone_mobile_frames_keep_the_bernoulli_fallback() {
+        // Without a session walker the handoff stage still draws from the
+        // analytic P(HO), so standalone frames of a mobile scenario can
+        // hand off.
+        let testbed = TestbedSimulator::new(5);
+        let s = mobile_scenario(20.0, 30.0);
+        let occurred = (1..=120)
+            .map(|i| testbed.simulate_frame(&s, i).unwrap())
+            .filter(|f| f.handoff_occurred)
+            .count();
+        assert!(occurred > 0);
+        assert!(occurred < 120);
     }
 
     #[test]

@@ -35,5 +35,5 @@ pub mod pathloss;
 
 pub use handoff::{HandoffKind, HandoffModel};
 pub use link::{AccessTechnology, WirelessLink};
-pub use mobility::{CoverageZone, RandomWalkMobility};
+pub use mobility::{CoverageZone, RandomWalkMobility, RandomWalker};
 pub use pathloss::{FreeSpacePathLoss, LogDistancePathLoss, PathLoss};

@@ -117,22 +117,28 @@ impl RandomWalkMobility {
         Seconds::new(self.zone.radius.as_f64() / self.speed.as_f64())
     }
 
+    /// Number of walk steps covering an observation window of length
+    /// `window` (at least one).
+    #[must_use]
+    pub fn steps_per_window(&self, window: Seconds) -> usize {
+        (window.as_f64() / self.step_interval.as_f64())
+            .ceil()
+            .max(1.0) as usize
+    }
+
+    /// Starts a stateful walk of this mobility model from the zone centre.
+    #[must_use]
+    pub fn walker(&self, seed: u64) -> RandomWalker {
+        RandomWalker::new(self, seed)
+    }
+
     /// Simulates a trajectory of `steps` random-walk steps starting from the
     /// zone centre and returns the radial distance after each step. Used by
     /// the testbed simulator to produce ground-truth handoff events.
     #[must_use]
     pub fn simulate_radii(&self, steps: usize, seed: u64) -> Vec<Meters> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let step_len = self.speed.as_f64() * self.step_interval.as_f64();
-        let (mut x, mut y) = (0.0_f64, 0.0_f64);
-        let mut radii = Vec::with_capacity(steps);
-        for _ in 0..steps {
-            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
-            x += step_len * theta.cos();
-            y += step_len * theta.sin();
-            radii.push(Meters::new((x * x + y * y).sqrt()));
-        }
-        radii
+        let mut walker = self.walker(seed);
+        (0..steps).map(|_| walker.step()).collect()
     }
 
     /// Monte-Carlo estimate of the handoff probability over `window`,
@@ -140,24 +146,15 @@ impl RandomWalkMobility {
     /// Used in tests to validate [`Self::handoff_probability`].
     #[must_use]
     pub fn simulate_handoff_probability(&self, window: Seconds, trials: usize, seed: u64) -> f64 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let radius = self.zone.radius.as_f64();
-        let steps = (window.as_f64() / self.step_interval.as_f64())
-            .ceil()
-            .max(1.0) as usize;
-        let step_len = self.speed.as_f64() * self.step_interval.as_f64();
+        let mut walker = self.walker(seed);
+        let steps = self.steps_per_window(window);
         let mut crossings = 0usize;
         for _ in 0..trials {
-            // Uniform point in the disc via rejection-free sqrt sampling.
-            let r0 = radius * rng.gen::<f64>().sqrt();
-            let a0 = rng.gen_range(0.0..std::f64::consts::TAU);
-            let (mut x, mut y) = (r0 * a0.cos(), r0 * a0.sin());
+            walker.reset_uniform();
             let mut crossed = false;
             for _ in 0..steps {
-                let theta = rng.gen_range(0.0..std::f64::consts::TAU);
-                x += step_len * theta.cos();
-                y += step_len * theta.sin();
-                if (x * x + y * y).sqrt() > radius {
+                walker.step();
+                if walker.is_outside() {
                     crossed = true;
                     break;
                 }
@@ -165,6 +162,102 @@ impl RandomWalkMobility {
             crossings += usize::from(crossed);
         }
         crossings as f64 / trials.max(1) as f64
+    }
+}
+
+/// A stateful two-dimensional random walk inside a coverage zone.
+///
+/// This is the single walk stepper behind every mobility consumer in the
+/// workspace: [`RandomWalkMobility::simulate_radii`],
+/// [`RandomWalkMobility::simulate_handoff_probability`], and the testbed
+/// simulator's session loop all advance one of these instead of re-rolling
+/// their own `theta`/step loops. The walker owns its RNG, so its draw stream
+/// is independent of any per-frame measurement noise.
+#[derive(Debug, Clone)]
+pub struct RandomWalker {
+    x: f64,
+    y: f64,
+    step_len: f64,
+    step_interval: Seconds,
+    zone: CoverageZone,
+    rng: StdRng,
+    /// Un-stepped time carried between `advance` calls, so windows shorter
+    /// than one step interval still accumulate into whole steps.
+    carry: f64,
+}
+
+impl RandomWalker {
+    /// A walker for `mobility` starting at the zone centre, with its own
+    /// deterministic RNG stream derived from `seed`.
+    #[must_use]
+    pub fn new(mobility: &RandomWalkMobility, seed: u64) -> Self {
+        Self {
+            x: 0.0,
+            y: 0.0,
+            step_len: mobility.speed.as_f64() * mobility.step_interval.as_f64(),
+            step_interval: mobility.step_interval,
+            zone: mobility.zone,
+            rng: StdRng::seed_from_u64(seed),
+            carry: 0.0,
+        }
+    }
+
+    /// Moves the device back to the zone centre (the carry-over time is
+    /// kept, only the position resets).
+    pub fn reset_to_center(&mut self) {
+        self.x = 0.0;
+        self.y = 0.0;
+    }
+
+    /// Repositions the device uniformly at random inside the zone — the
+    /// position distribution the analytic handoff probability assumes, via
+    /// rejection-free sqrt sampling.
+    pub fn reset_uniform(&mut self) {
+        let r0 = self.zone.radius().as_f64() * self.rng.gen::<f64>().sqrt();
+        let a0 = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        self.x = r0 * a0.cos();
+        self.y = r0 * a0.sin();
+    }
+
+    /// Takes one walk step in a uniformly random direction and returns the
+    /// new radial distance from the access point.
+    pub fn step(&mut self) -> Meters {
+        let theta = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        self.x += self.step_len * theta.cos();
+        self.y += self.step_len * theta.sin();
+        self.radius()
+    }
+
+    /// Current radial distance from the access point.
+    #[must_use]
+    pub fn radius(&self) -> Meters {
+        Meters::new((self.x * self.x + self.y * self.y).sqrt())
+    }
+
+    /// `true` when the device is currently outside the coverage zone.
+    #[must_use]
+    pub fn is_outside(&self) -> bool {
+        !self.zone.covers(self.radius())
+    }
+
+    /// Advances the walk by `window` of wall-clock time, stepping once per
+    /// elapsed step interval (fractional intervals carry over to the next
+    /// call). Every boundary crossing counts as one handoff, after which the
+    /// device re-enters service uniformly inside the (new) zone. Returns the
+    /// number of handoffs in the window.
+    pub fn advance(&mut self, window: Seconds) -> usize {
+        self.carry += window.as_f64().max(0.0);
+        let interval = self.step_interval.as_f64();
+        let mut crossings = 0usize;
+        while self.carry >= interval {
+            self.carry -= interval;
+            self.step();
+            if self.is_outside() {
+                crossings += 1;
+                self.reset_uniform();
+            }
+        }
+        crossings
     }
 }
 
@@ -260,6 +353,65 @@ mod tests {
         assert!(m.zone().covers(Meters::new(29.0)));
         assert!(!m.zone().covers(Meters::new(31.0)));
         assert_eq!(m.zone().radius(), Meters::new(30.0));
+    }
+
+    #[test]
+    fn walker_matches_simulate_radii_and_counts_crossings() {
+        let m = pedestrian();
+        // The trajectory helper is literally the walker, step by step.
+        let radii = m.simulate_radii(50, 123);
+        let mut walker = m.walker(123);
+        for r in &radii {
+            assert_eq!(walker.step(), *r);
+        }
+        // A fast walker in a tiny zone must cross within a few seconds.
+        let sprint = RandomWalkMobility::new(
+            MetersPerSecond::new(25.0),
+            Seconds::new(0.1),
+            CoverageZone::new(Meters::new(5.0)),
+        );
+        let mut walker = sprint.walker(7);
+        let mut crossings = 0usize;
+        for _ in 0..300 {
+            crossings += walker.advance(Seconds::new(1.0 / 30.0));
+        }
+        assert!(crossings > 0, "fast walker never left a 5 m zone");
+        // After a crossing the walker re-enters coverage.
+        assert!(!walker.is_outside() || walker.advance(Seconds::new(0.1)) > 0);
+    }
+
+    #[test]
+    fn walker_accumulates_fractional_windows() {
+        let m = pedestrian();
+        // 1/30 s frames against a 0.1 s step interval: exactly one step per
+        // three frames, no drift.
+        let mut walker = m.walker(11);
+        let mut twin = m.walker(11);
+        for _ in 0..30 {
+            walker.advance(Seconds::new(0.1 / 3.0));
+        }
+        for _ in 0..10 {
+            twin.step();
+        }
+        assert_eq!(walker.radius(), twin.radius());
+    }
+
+    #[test]
+    fn static_walker_stays_at_origin() {
+        let m = RandomWalkMobility::new(
+            MetersPerSecond::new(0.0),
+            Seconds::new(0.1),
+            CoverageZone::new(Meters::new(30.0)),
+        );
+        let mut walker = m.walker(3);
+        assert_eq!(walker.advance(Seconds::new(10.0)), 0);
+        assert_eq!(walker.radius(), Meters::new(0.0));
+        walker.reset_uniform();
+        assert!(!walker.is_outside());
+        walker.reset_to_center();
+        assert_eq!(walker.radius(), Meters::new(0.0));
+        assert_eq!(m.steps_per_window(Seconds::new(0.35)), 4);
+        assert_eq!(m.steps_per_window(Seconds::new(0.0)), 1);
     }
 
     #[test]

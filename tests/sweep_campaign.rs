@@ -5,8 +5,9 @@ use xr_experiments::campaign::{
     quick_grid, run_campaign_streaming_with, run_campaign_with, CAMPAIGN_HEADER,
 };
 use xr_experiments::figures::latency_sweep;
+use xr_experiments::mobility_experiments::mobility_sweep_with;
 use xr_experiments::ExperimentContext;
-use xr_sweep::{CampaignRunner, SweepGrid};
+use xr_sweep::{parse_grid_spec, CampaignRunner, SweepGrid};
 use xr_types::ExecutionTarget;
 
 /// Renders campaign rows exactly as the CSV layer writes them.
@@ -29,6 +30,89 @@ fn campaign_csv_rows_are_byte_identical_across_worker_counts() {
             reference,
             "{workers} workers diverged from the sequential reference"
         );
+    }
+}
+
+#[test]
+fn replicated_mobility_campaign_is_byte_identical_across_worker_counts() {
+    // The acceptance bar for the replication/mobility refactor: a campaign
+    // with a moving device and several independently seeded replications per
+    // point — defined through the data-driven grid-spec path — must stream
+    // the same CSV bytes for every worker count.
+    let ctx = ExperimentContext::quick(7).unwrap();
+    let grid = parse_grid_spec(
+        "frame_sizes  = 500\n\
+         cpu_clocks   = 2.0\n\
+         executions   = remote\n\
+         mobility     = static, walk:1.4:20, vehicle:25:10\n\
+         replications = 4\n",
+    )
+    .unwrap();
+    assert_eq!(grid.replications(), 4);
+    let reference = csv_lines(&run_campaign_with(&ctx, &grid, &CampaignRunner::new(1)).unwrap());
+    for workers in [2, 3, 8] {
+        let rows = run_campaign_with(&ctx, &grid, &CampaignRunner::new(workers)).unwrap();
+        assert_eq!(
+            csv_lines(&rows),
+            reference,
+            "{workers} workers diverged on the replicated mobility campaign"
+        );
+    }
+    // The replication machinery is real: every row aggregates 4 sessions,
+    // and the mobile fast-walker point records handoffs.
+    let rows = run_campaign_with(&ctx, &grid, &CampaignRunner::new(2)).unwrap();
+    assert!(rows.iter().all(|r| r.replications == 4));
+    assert!(rows
+        .iter()
+        .all(|r| r.gt_latency_ms.ci95_lo <= r.gt_latency_ms.mean
+            && r.gt_latency_ms.mean <= r.gt_latency_ms.ci95_hi));
+    let vehicle = rows
+        .iter()
+        .find(|r| r.point.mobility.label == "vehicle")
+        .expect("vehicle row");
+    assert!(
+        vehicle.gt_handoff_rate > 0.0,
+        "fast walker in a 10 m zone never handed off"
+    );
+}
+
+#[test]
+fn mobility_sweep_is_worker_count_invariant() {
+    let ctx = ExperimentContext::quick(9).unwrap();
+    let reference = mobility_sweep_with(&ctx, &CampaignRunner::new(1)).unwrap();
+    let parallel = mobility_sweep_with(&ctx, &CampaignRunner::new(5)).unwrap();
+    assert_eq!(reference, parallel);
+    let cells: Vec<Vec<String>> = reference.iter().map(|p| p.cells()).collect();
+    let parallel_cells: Vec<Vec<String>> = parallel.iter().map(|p| p.cells()).collect();
+    assert_eq!(cells, parallel_cells);
+}
+
+#[test]
+fn single_replication_static_campaign_matches_a_hand_rolled_session_loop() {
+    // With replications = 1 and a static mobility condition, a campaign row
+    // is exactly one reseeded testbed session plus one model analysis —
+    // pin the engine's aggregation to that hand-rolled equivalent.
+    let ctx = ExperimentContext::quick(2024).unwrap();
+    let grid = SweepGrid::paper_panel(ExecutionTarget::Remote)
+        .with_frame_sizes([300.0, 700.0])
+        .with_cpu_clocks([2.0]);
+    assert_eq!(grid.replications(), 1);
+    let runner = CampaignRunner::new(3).with_campaign_seed(ctx.seed());
+    let rows = run_campaign_with(&ctx, &grid, &runner).unwrap();
+    let points = grid.points().unwrap();
+    assert_eq!(rows.len(), points.len());
+    for (row, point) in rows.iter().zip(&points) {
+        let seed = xr_sweep::replication_seed(ctx.seed(), point.index, 0);
+        let scenario = ctx.scenario_for(point).unwrap();
+        let session = ctx
+            .testbed_for_seed(seed)
+            .simulate_session(&scenario, ctx.frames_per_point())
+            .unwrap();
+        let expected = session.mean_latency().as_f64() * 1e3;
+        assert_eq!(row.gt_latency_ms.mean, expected);
+        assert_eq!(row.gt_latency_ms.ci95_lo, expected);
+        assert_eq!(row.gt_latency_ms.ci95_hi, expected);
+        assert_eq!(row.gt_handoff_rate, 0.0);
     }
 }
 
