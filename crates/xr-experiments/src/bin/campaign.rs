@@ -1,15 +1,16 @@
-//! The consolidated campaign binary: sweeps the full six-axis quick grid
+//! The consolidated campaign binary: sweeps the full seven-axis quick grid
 //! (frame size × CPU clock × execution target × device × wireless condition
-//! × mobility condition, with per-point replications) through the parallel
-//! campaign engine and writes one mean-±-CI row per operating point to
-//! `campaign.csv`.
+//! × mobility condition × campaign size, with per-point replications)
+//! through the parallel campaign engine and writes one mean-±-CI row per
+//! operating point to `campaign.csv`.
 //!
 //! `--grid <file>` swaps the built-in quick grid for a data-defined one
 //! parsed by `xr_sweep::parse_grid_spec` (see that module's docs for the
 //! `key = value` format), so campaigns can change without recompiling.
 //!
-//! The CSV is bit-identical for every worker count (`XR_SWEEP_WORKERS`); CI
-//! runs this binary twice with different counts and diffs the artifacts.
+//! The CSV is bit-identical for every worker count (`XR_SWEEP_WORKERS`) and
+//! for both session engines (`--scalar-sessions` forces the scalar
+//! reference); CI runs this binary under both axes and diffs the artifacts.
 
 use xr_experiments::campaign::{quick_grid, run_campaign, CAMPAIGN_HEADER};
 use xr_experiments::{output, ExperimentContext};
@@ -48,7 +49,7 @@ fn main() {
     let rows = run_campaign(&ctx, &grid).expect("campaign failed");
     let cells: Vec<Vec<String>> = rows.iter().map(|r| r.cells()).collect();
     output::print_experiment(
-        "Consolidated campaign — six-axis replicated sweep",
+        "Consolidated campaign — seven-axis replicated sweep",
         &CAMPAIGN_HEADER,
         &cells,
         "campaign.csv",

@@ -1,0 +1,29 @@
+//! Training-scaling figure: confidence-interval width of the ground-truth
+//! session means versus measurement-campaign size (frames per session),
+//! replicated through the shared campaign engine.
+
+use xr_experiments::scaling_experiments::{training_scaling_sweep, FIG_TRAINING_SCALING_HEADER};
+use xr_experiments::{output, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let points = training_scaling_sweep(&ctx).expect("training-scaling sweep failed");
+    let cells: Vec<Vec<String>> = points.iter().map(|p| p.cells()).collect();
+    output::print_experiment(
+        "Training scaling — CI width vs measurement-campaign size",
+        &FIG_TRAINING_SCALING_HEADER,
+        &cells,
+        "fig_training_scaling.csv",
+    );
+    let first = points.first().expect("at least one campaign size");
+    let last = points.last().expect("at least one campaign size");
+    println!(
+        "{} campaign sizes evaluated with {} worker(s); latency CI width {:.4} ms at {} frames -> {:.4} ms at {} frames",
+        points.len(),
+        ctx.runner().workers(),
+        first.latency_ci_width_ms(),
+        first.frames_per_session,
+        last.latency_ci_width_ms(),
+        last.frames_per_session,
+    );
+}

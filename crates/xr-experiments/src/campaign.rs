@@ -1,9 +1,10 @@
-//! Consolidated measurement campaigns over the full six-axis sweep grid.
+//! Consolidated measurement campaigns over the full seven-axis sweep grid.
 //!
 //! Where the `figures`/`comparison` modules regenerate individual paper
 //! panels, a *campaign* sweeps every axis the engine knows about — frame
 //! size, CPU clock, execution target, client device, wireless condition,
-//! mobility condition — and measures each operating point with
+//! mobility condition, measurement-campaign size (frames per session) —
+//! and measures each operating point with
 //! `grid.replications()` independently seeded testbed sessions, exactly as
 //! the paper's campaign repeats measurements under a moving user. Each row
 //! aggregates its replications into a mean with a two-sided 95 % Student-t
@@ -18,7 +19,7 @@ use xr_sweep::{CampaignRunner, OperatingPoint, SweepGrid, WirelessCondition};
 use xr_types::{ExecutionTarget, Result};
 
 /// Column header of the consolidated campaign CSV.
-pub const CAMPAIGN_HEADER: [&str; 17] = [
+pub const CAMPAIGN_HEADER: [&str; 18] = [
     "point",
     "device",
     "wireless",
@@ -26,6 +27,7 @@ pub const CAMPAIGN_HEADER: [&str; 17] = [
     "execution",
     "cpu_ghz",
     "frame_size",
+    "frames_per_session",
     "replications",
     "gt_latency_ms_mean",
     "gt_latency_ms_ci95_lo",
@@ -87,6 +89,10 @@ struct RepSample {
 pub struct CampaignRow {
     /// The operating point this row measures.
     pub point: OperatingPoint,
+    /// Resolved measurement-campaign size: ground-truth frames simulated
+    /// per session (the point's own `frames_per_session`, or the context
+    /// default when the grid does not sweep the campaign-size axis).
+    pub frames_per_session: u64,
     /// Number of independently seeded sessions aggregated into this row.
     pub replications: usize,
     /// Ground-truth mean end-to-end latency (ms) with 95 % CI.
@@ -119,6 +125,7 @@ impl CampaignRow {
             execution,
             format!("{:.1}", self.point.cpu_clock_ghz),
             format!("{:.0}", self.point.frame_size),
+            self.frames_per_session.to_string(),
             self.replications.to_string(),
             format!("{:.3}", self.gt_latency_ms.mean),
             format!("{:.3}", self.gt_latency_ms.ci95_lo),
@@ -197,7 +204,7 @@ pub fn run_campaign_streaming_with(
             let scenario = ctx.scenario_for(point)?;
             let session = ctx
                 .testbed_for_seed(rep_ctx.seed)
-                .simulate_session(&scenario, ctx.frames_per_point())?;
+                .simulate_session(&scenario, ctx.frames_for(point))?;
             // The proposed model is deterministic per point: analyze once,
             // on the first replication.
             let proposed = if rep_ctx.rep_index == 0 {
@@ -225,6 +232,7 @@ pub fn run_campaign_streaming_with(
                 point_index,
                 CampaignRow {
                     point: points[point_index].clone(),
+                    frames_per_session: ctx.frames_for(&points[point_index]),
                     replications: samples.len(),
                     gt_latency_ms: ReplicateStats::of(&latencies),
                     gt_energy_mj: ReplicateStats::of(&energies),
@@ -276,6 +284,10 @@ mod tests {
         for (i, row) in rows.iter().enumerate() {
             assert_eq!(row.point.index, i);
             assert_eq!(row.replications, 3);
+            assert_eq!(
+                row.frames_per_session, 20,
+                "grids without a campaign-size axis resolve to the context default"
+            );
             assert!(row.gt_latency_ms.mean > 0.0);
             assert!(row.gt_latency_ms.ci95_lo <= row.gt_latency_ms.mean);
             assert!(row.gt_latency_ms.ci95_hi >= row.gt_latency_ms.mean);

@@ -46,7 +46,11 @@ impl ExperimentContext {
     }
 
     /// Builds the context the experiment binaries use: quick by default,
-    /// paper scale when the process was invoked with `--paper-scale`.
+    /// paper scale when the process was invoked with `--paper-scale`, and
+    /// ground-truth sessions through the scalar reference engine instead of
+    /// the batched default when invoked with `--scalar-sessions` (the CI
+    /// equivalence diff runs every campaign both ways and requires
+    /// byte-identical artifacts).
     ///
     /// # Panics
     ///
@@ -61,7 +65,23 @@ impl ExperimentContext {
         } else {
             Self::quick(seed)
         };
-        ctx.expect("failed to calibrate the analytical framework")
+        let mut ctx = ctx.expect("failed to calibrate the analytical framework");
+        if std::env::args().any(|a| a == "--scalar-sessions") {
+            ctx = ctx.with_scalar_sessions();
+        }
+        ctx
+    }
+
+    /// This context with ground-truth sessions simulated by the scalar
+    /// frame-by-frame reference engine instead of the batched default. The
+    /// two engines are bit-identical by contract; campaigns run both ways
+    /// must produce byte-identical artifacts.
+    #[must_use]
+    pub fn with_scalar_sessions(mut self) -> Self {
+        self.testbed = self
+            .testbed
+            .with_engine(xr_testbed::SimulationEngine::Scalar);
+        self
     }
 
     /// Builds a context from an explicit measurement campaign.
@@ -111,6 +131,14 @@ impl ExperimentContext {
         self.frames_per_point
     }
 
+    /// The measurement-campaign size at one operating point: the point's
+    /// own `frames_per_session` when its grid sweeps the campaign-size
+    /// axis, this context's default otherwise.
+    #[must_use]
+    pub fn frames_for(&self, point: &OperatingPoint) -> u64 {
+        point.frames_per_session.unwrap_or(self.frames_per_point)
+    }
+
     /// The context's base seed.
     #[must_use]
     pub fn seed(&self) -> u64 {
@@ -138,6 +166,7 @@ impl ExperimentContext {
             device: grid::PAPER_EVAL_DEVICE.to_string(),
             wireless: WirelessCondition::baseline(),
             mobility: MobilityCondition::static_device(),
+            frames_per_session: None,
         })
     }
 

@@ -13,8 +13,9 @@
 //! | Fig. 5(a)/(b) comparison with FACT and LEAF | [`comparison`] | `fig5a`, `fig5b` |
 //! | §VIII-A/B mean-error summary | [`errors`] | `error_summary` |
 //! | Eqs. 3/10/12/21 regression fits | [`regression_report`] | `regression_report` |
-//! | Consolidated six-axis replicated sweep | [`campaign`] | `campaign` |
+//! | Consolidated seven-axis replicated sweep | [`campaign`] | `campaign` |
 //! | Mobility: latency/handoffs vs speed × radius | [`mobility_experiments`] | `fig_mobility` |
+//! | Training scaling: CI width vs campaign size | [`scaling_experiments`] | `fig_training_scaling` |
 //!
 //! Each binary prints the rows/series the paper reports and writes a CSV
 //! artifact under `target/experiments/`. `run_all` chains everything in
@@ -37,6 +38,7 @@ pub mod figures;
 pub mod mobility_experiments;
 pub mod output;
 pub mod regression_report;
+pub mod scaling_experiments;
 pub mod tables;
 
 pub use ablation::{AblationRow, AblationStudy};
@@ -48,3 +50,4 @@ pub use errors::ErrorSummary;
 pub use figures::{SweepPoint, SweepResult};
 pub use mobility_experiments::MobilityPoint;
 pub use regression_report::RegressionReport;
+pub use scaling_experiments::ScalingPoint;

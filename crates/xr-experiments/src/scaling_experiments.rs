@@ -1,0 +1,160 @@
+//! The training-scaling figure: estimator precision versus
+//! measurement-campaign size.
+//!
+//! The framework is measurement-hungry — every modeled metric comes from
+//! campaigns of simulated sessions, and related XR traffic frameworks
+//! (Lecci et al., Laha et al.) size their credibility claims in sampled
+//! sessions. This experiment measures the repo's own scaling law: one
+//! operating point (the Fig. 4 midpoint under remote inference), swept over
+//! the `frames_per_session` campaign-size axis with several independently
+//! seeded replications per size, reporting the width of the 95 % confidence
+//! interval of the session-mean latency and energy. The CI width should
+//! shrink roughly like `1/√frames` — the curve that tells a campaign
+//! designer how many frames buy how much precision.
+
+use crate::campaign::{run_campaign_with, CampaignRow};
+use crate::context::ExperimentContext;
+use xr_sweep::{CampaignRunner, SweepGrid};
+use xr_types::{ExecutionTarget, Result};
+
+/// Column header of the training-scaling CSV.
+pub const FIG_TRAINING_SCALING_HEADER: [&str; 7] = [
+    "frames_per_session",
+    "replications",
+    "gt_latency_ms_mean",
+    "latency_ci_width_ms",
+    "gt_energy_mj_mean",
+    "energy_ci_width_mj",
+    "latency_rel_ci_width",
+];
+
+/// Campaign sizes (frames per session) swept by the scaling figure.
+pub const SCALING_FRAMES: [u64; 6] = [5, 10, 20, 40, 80, 160];
+/// Replications per campaign size.
+pub const SCALING_REPLICATIONS: usize = 8;
+
+/// The campaign-size grid: the Fig. 4 midpoint (500 px², 2 GHz, remote
+/// inference on the held-out client), measured at every [`SCALING_FRAMES`]
+/// session length with [`SCALING_REPLICATIONS`] independently seeded
+/// sessions each.
+#[must_use]
+pub fn scaling_grid() -> SweepGrid {
+    SweepGrid::paper_panel(ExecutionTarget::Remote)
+        .with_frame_sizes([500.0])
+        .with_cpu_clocks([2.0])
+        .with_frames_per_session(SCALING_FRAMES)
+        .with_replications(SCALING_REPLICATIONS)
+}
+
+/// One row of the training-scaling figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Frames simulated per session at this point.
+    pub frames_per_session: u64,
+    /// The aggregated campaign measurement at this point.
+    pub row: CampaignRow,
+}
+
+impl ScalingPoint {
+    /// Width of the 95 % latency confidence interval (ms).
+    #[must_use]
+    pub fn latency_ci_width_ms(&self) -> f64 {
+        self.row.gt_latency_ms.ci95_hi - self.row.gt_latency_ms.ci95_lo
+    }
+
+    /// Width of the 95 % energy confidence interval (mJ).
+    #[must_use]
+    pub fn energy_ci_width_mj(&self) -> f64 {
+        self.row.gt_energy_mj.ci95_hi - self.row.gt_energy_mj.ci95_lo
+    }
+
+    /// CSV/console cells for the output layer.
+    #[must_use]
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.frames_per_session.to_string(),
+            self.row.replications.to_string(),
+            format!("{:.3}", self.row.gt_latency_ms.mean),
+            format!("{:.4}", self.latency_ci_width_ms()),
+            format!("{:.3}", self.row.gt_energy_mj.mean),
+            format!("{:.4}", self.energy_ci_width_mj()),
+            format!(
+                "{:.6}",
+                self.latency_ci_width_ms() / self.row.gt_latency_ms.mean
+            ),
+        ]
+    }
+}
+
+/// Runs the campaign-size sweep and returns one point per session length,
+/// smallest first.
+///
+/// # Errors
+///
+/// Propagates grid, scenario and model errors.
+pub fn training_scaling_sweep(ctx: &ExperimentContext) -> Result<Vec<ScalingPoint>> {
+    training_scaling_sweep_with(ctx, &ctx.runner())
+}
+
+/// [`training_scaling_sweep`] with an explicit runner (determinism tests
+/// pin the worker count).
+///
+/// # Errors
+///
+/// Propagates grid, scenario and model errors.
+pub fn training_scaling_sweep_with(
+    ctx: &ExperimentContext,
+    runner: &CampaignRunner,
+) -> Result<Vec<ScalingPoint>> {
+    let rows = run_campaign_with(ctx, &scaling_grid(), runner)?;
+    Ok(rows
+        .into_iter()
+        .map(|row| ScalingPoint {
+            frames_per_session: row.frames_per_session,
+            row,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_width_shrinks_with_campaign_size() {
+        let ctx = ExperimentContext::quick(23).unwrap();
+        let points = training_scaling_sweep(&ctx).unwrap();
+        assert_eq!(points.len(), SCALING_FRAMES.len());
+        for (point, &frames) in points.iter().zip(&SCALING_FRAMES) {
+            assert_eq!(point.frames_per_session, frames);
+            assert_eq!(point.row.replications, SCALING_REPLICATIONS);
+            assert!(point.row.gt_latency_ms.mean > 0.0);
+            assert!(point.latency_ci_width_ms() > 0.0);
+            assert_eq!(point.cells().len(), FIG_TRAINING_SCALING_HEADER.len());
+        }
+        // The scaling law itself: 32× more frames per session must shrink
+        // the session-mean estimator's CI decisively (≈ √32 ≈ 5.7× in
+        // expectation; 2× is a noise-proof bound).
+        let smallest = &points[0];
+        let largest = points.last().unwrap();
+        assert!(
+            largest.latency_ci_width_ms() < smallest.latency_ci_width_ms() / 2.0,
+            "latency CI width did not shrink: {} frames → {:.4} ms, {} frames → {:.4} ms",
+            smallest.frames_per_session,
+            smallest.latency_ci_width_ms(),
+            largest.frames_per_session,
+            largest.latency_ci_width_ms()
+        );
+        // Means agree across campaign sizes (they estimate the same
+        // quantity): the largest campaign's mean lies within the smallest
+        // campaign's CI.
+        assert!(
+            largest.row.gt_latency_ms.mean >= smallest.row.gt_latency_ms.ci95_lo
+                && largest.row.gt_latency_ms.mean <= smallest.row.gt_latency_ms.ci95_hi,
+            "large-campaign mean {} escaped the small-campaign CI [{}, {}]",
+            largest.row.gt_latency_ms.mean,
+            smallest.row.gt_latency_ms.ci95_lo,
+            smallest.row.gt_latency_ms.ci95_hi
+        );
+    }
+}

@@ -135,14 +135,19 @@ pub struct OperatingPoint {
     pub wireless: WirelessCondition,
     /// Mobility condition applied to the scenario's device.
     pub mobility: MobilityCondition,
+    /// Measurement-campaign size at this point: how many ground-truth
+    /// frames each session simulates. `None` keeps the experiment context's
+    /// default (20 quick / 100 paper-scale).
+    pub frames_per_session: Option<u64>,
 }
 
-/// A campaign grid: the cartesian product of six axes, enumerated in a
-/// fixed row-major order (device, wireless, mobility, execution, CPU clock,
-/// frame size — frame size varies fastest, matching the Fig. 4 panel
-/// layout), plus the per-point replication count (how many independently
-/// seeded sessions each operating point is measured with — not an
-/// enumeration axis, the collector aggregates replications into one row).
+/// A campaign grid: the cartesian product of seven axes, enumerated in a
+/// fixed row-major order (campaign size, device, wireless, mobility,
+/// execution, CPU clock, frame size — frame size varies fastest, matching
+/// the Fig. 4 panel layout), plus the per-point replication count (how many
+/// independently seeded sessions each operating point is measured with —
+/// not an enumeration axis, the collector aggregates replications into one
+/// row).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepGrid {
     frame_sizes: Vec<f64>,
@@ -151,6 +156,10 @@ pub struct SweepGrid {
     devices: Vec<String>,
     wireless: Vec<WirelessCondition>,
     mobility: Vec<MobilityCondition>,
+    /// Measurement-campaign sizes (frames per session); `None` entries keep
+    /// the context default. The axis opens training-set scaling studies:
+    /// sweeping it plots estimator precision against campaign size.
+    frames_per_session: Vec<Option<u64>>,
     replications: usize,
 }
 
@@ -166,6 +175,7 @@ impl SweepGrid {
             devices: vec![PAPER_EVAL_DEVICE.to_string()],
             wireless: vec![WirelessCondition::baseline()],
             mobility: vec![MobilityCondition::static_device()],
+            frames_per_session: vec![None],
             replications: 1,
         }
     }
@@ -212,6 +222,15 @@ impl SweepGrid {
         self
     }
 
+    /// Replaces the measurement-campaign-size axis: each value is a
+    /// frames-per-session count every other axis combination is measured
+    /// with (values clamped to at least 1 frame).
+    #[must_use]
+    pub fn with_frames_per_session(mut self, frames: impl Into<Vec<u64>>) -> Self {
+        self.frames_per_session = frames.into().into_iter().map(|f| Some(f.max(1))).collect();
+        self
+    }
+
     /// Sets the per-point replication count (clamped to at least 1).
     #[must_use]
     pub fn with_replications(mut self, replications: usize) -> Self {
@@ -235,6 +254,7 @@ impl SweepGrid {
             * self.devices.len()
             * self.wireless.len()
             * self.mobility.len()
+            * self.frames_per_session.len()
     }
 
     /// `true` when any axis is empty.
@@ -259,22 +279,25 @@ impl SweepGrid {
         }
         let mut points = Vec::with_capacity(self.len());
         let mut index = 0usize;
-        for device in &self.devices {
-            for wireless in &self.wireless {
-                for mobility in &self.mobility {
-                    for &execution in &self.executions {
-                        for &clock in &self.cpu_clocks {
-                            for &size in &self.frame_sizes {
-                                points.push(OperatingPoint {
-                                    index,
-                                    frame_size: size,
-                                    cpu_clock_ghz: clock,
-                                    execution,
-                                    device: device.clone(),
-                                    wireless: wireless.clone(),
-                                    mobility: mobility.clone(),
-                                });
-                                index += 1;
+        for &frames_per_session in &self.frames_per_session {
+            for device in &self.devices {
+                for wireless in &self.wireless {
+                    for mobility in &self.mobility {
+                        for &execution in &self.executions {
+                            for &clock in &self.cpu_clocks {
+                                for &size in &self.frame_sizes {
+                                    points.push(OperatingPoint {
+                                        index,
+                                        frame_size: size,
+                                        cpu_clock_ghz: clock,
+                                        execution,
+                                        device: device.clone(),
+                                        wireless: wireless.clone(),
+                                        mobility: mobility.clone(),
+                                        frames_per_session,
+                                    });
+                                    index += 1;
+                                }
                             }
                         }
                     }
@@ -339,6 +362,30 @@ mod tests {
         assert!(grid.points().is_err());
         let grid = SweepGrid::paper_panel(ExecutionTarget::Local).with_mobility(vec![]);
         assert!(grid.points().is_err());
+    }
+
+    #[test]
+    fn frames_per_session_axis_multiplies_outermost() {
+        let grid = SweepGrid::paper_panel(ExecutionTarget::Local)
+            .with_frame_sizes([300.0, 500.0])
+            .with_cpu_clocks([2.0]);
+        assert_eq!(grid.len(), 2);
+        let points = grid.points().unwrap();
+        assert!(points.iter().all(|p| p.frames_per_session.is_none()));
+        let grid = grid.with_frames_per_session([10, 40, 0]);
+        assert_eq!(grid.len(), 6, "campaign-size axis multiplies the grid");
+        let points = grid.points().unwrap();
+        // Campaign size is the outermost axis: each size's block is
+        // contiguous, the inner layout is unchanged.
+        assert_eq!(points[0].frames_per_session, Some(10));
+        assert_eq!(points[1].frames_per_session, Some(10));
+        assert_eq!(points[2].frames_per_session, Some(40));
+        assert_eq!(points[4].frames_per_session, Some(1), "zero clamps to 1");
+        assert_eq!(points[2].frame_size, 300.0);
+        assert_eq!(points[3].frame_size, 500.0);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
     }
 
     #[test]

@@ -8,19 +8,22 @@
 //! crate does the same for the xr-perf workspace:
 //!
 //! - [`SweepGrid`] enumerates operating points over frame size, CPU clock,
-//!   execution target, client device, wireless condition, and mobility
-//!   condition (speed × coverage radius) in a fixed row-major order
-//!   (device → wireless → mobility → execution → clock → frame size, frame
-//!   size innermost — the ordering the Fig. 4 panels print). A grid also
-//!   carries a per-point `replications` count: how many independently
-//!   seeded sessions each operating point is measured with.
+//!   execution target, client device, wireless condition, mobility
+//!   condition (speed × coverage radius), and measurement-campaign size
+//!   (frames per session — the training-set scaling axis) in a fixed
+//!   row-major order (campaign size → device → wireless → mobility →
+//!   execution → clock → frame size, frame size innermost — the ordering
+//!   the Fig. 4 panels print). A grid also carries a per-point
+//!   `replications` count: how many independently seeded sessions each
+//!   operating point is measured with.
 //! - [`CampaignRunner`] executes the points with `std::thread::scope` over a
 //!   configurable worker count. Each point's random seed is derived
 //!   deterministically from `(campaign_seed, point_index)` via
 //!   [`point_seed`] — and each replication's from
-//!   `(campaign_seed, point_index, rep_index)` via [`replication_seed`] —
-//!   so campaign results are **bit-identical regardless of thread count or
-//!   scheduling order**.
+//!   `(campaign_seed, point_index, rep_index)` via [`replication_seed`],
+//!   both thin wrappers over the workspace-wide SplitMix64 chaining in
+//!   [`xr_types::seed`] — so campaign results are **bit-identical
+//!   regardless of thread count or scheduling order**.
 //! - [`spec::parse_grid_spec`] turns a `key = value` grid file into a
 //!   [`SweepGrid`], so campaigns are data-defined (`campaign --grid
 //!   <file>`), not recompiled.

@@ -1,34 +1,34 @@
 //! Deterministic per-point seed derivation.
+//!
+//! The SplitMix64 chaining primitive lives in [`xr_types::seed`] so that
+//! every crate (the campaign engine here, the testbed's per-stage frame
+//! streams) derives seeds through one audited scheme; this module re-exports
+//! the campaign-level derivations under their historical names.
 
 /// Derives the random seed for one operating point of a campaign from the
 /// campaign's seed and the point's index in the grid.
 ///
-/// The derivation is a SplitMix64 finalizer over the pair, so neighbouring
-/// point indices receive statistically independent seeds while the mapping
-/// stays a pure function of `(campaign_seed, point_index)` — the property
-/// that makes campaign output independent of worker count and scheduling
-/// order.
+/// Delegates to [`xr_types::seed::point_seed`]: a SplitMix64 finalizer over
+/// the pair, so neighbouring point indices receive statistically independent
+/// seeds while the mapping stays a pure function of
+/// `(campaign_seed, point_index)` — the property that makes campaign output
+/// independent of worker count and scheduling order.
 #[must_use]
 pub fn point_seed(campaign_seed: u64, point_index: usize) -> u64 {
-    let mut z = campaign_seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add((point_index as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    xr_types::seed::point_seed(campaign_seed, point_index)
 }
 
 /// Derives the random seed for one replication of one operating point.
 ///
-/// The derivation chains the SplitMix64 finalizer of [`point_seed`] twice —
-/// once over `(campaign_seed, point_index)` and once over the result and
-/// `rep_index` — so every `(point, replication)` pair receives a
-/// statistically independent seed while the mapping stays a pure function of
-/// the triple. Replicated campaigns therefore remain bit-identical for any
-/// worker count.
+/// Delegates to [`xr_types::seed::replication_seed`], which chains the
+/// SplitMix64 finalizer twice — once over `(campaign_seed, point_index)` and
+/// once over the result and `rep_index` — so every `(point, replication)`
+/// pair receives a statistically independent seed while the mapping stays a
+/// pure function of the triple. Replicated campaigns therefore remain
+/// bit-identical for any worker count.
 #[must_use]
 pub fn replication_seed(campaign_seed: u64, point_index: usize, rep_index: usize) -> u64 {
-    point_seed(point_seed(campaign_seed, point_index), rep_index)
+    xr_types::seed::replication_seed(campaign_seed, point_index, rep_index)
 }
 
 #[cfg(test)]
@@ -64,5 +64,14 @@ mod tests {
         // Replication 0 is still decorrelated from the bare point seed, so
         // replicated and unreplicated campaigns never share streams.
         assert_ne!(replication_seed(7, 4, 0), point_seed(7, 4));
+    }
+
+    #[test]
+    fn delegation_matches_the_shared_module() {
+        assert_eq!(point_seed(2024, 17), xr_types::seed::point_seed(2024, 17));
+        assert_eq!(
+            replication_seed(2024, 17, 3),
+            xr_types::seed::replication_seed(2024, 17, 3)
+        );
     }
 }

@@ -15,6 +15,7 @@
 //! devices      = XR2, XR3
 //! wireless     = baseline, cell-edge:60:40   # label:distance_m:throughput_mbps
 //! mobility     = static, vehicle:20:15       # label:speed_mps:radius_m
+//! frames_per_session = 20, 80                # measurement-campaign sizes
 //! replications = 5
 //! ```
 //!
@@ -215,6 +216,26 @@ pub fn parse_grid_spec(text: &str) -> Result<SweepGrid> {
                     .map(|t| parse_mobility(line_number, t))
                     .collect::<Result<Vec<_>>>()?,
             ),
+            "frames_per_session" => grid.with_frames_per_session(
+                tokens
+                    .iter()
+                    .map(|t| {
+                        let frames = t.parse::<u64>().map_err(|_| {
+                            spec_error(
+                                line_number,
+                                format!("frames_per_session: `{t}` is not a positive integer"),
+                            )
+                        })?;
+                        if frames == 0 {
+                            return Err(spec_error(
+                                line_number,
+                                "frames_per_session: must be at least 1",
+                            ));
+                        }
+                        Ok(frames)
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+            ),
             "replications" => {
                 if tokens.len() != 1 {
                     return Err(spec_error(line_number, "replications: expected one value"));
@@ -235,7 +256,7 @@ pub fn parse_grid_spec(text: &str) -> Result<SweepGrid> {
                     line_number,
                     format!(
                         "unknown key `{key}` (expected frame_sizes, cpu_clocks, executions, \
-                         devices, wireless, mobility, or replications)"
+                         devices, wireless, mobility, frames_per_session, or replications)"
                     ),
                 ))
             }
@@ -258,12 +279,19 @@ mod tests {
             devices      = XR2, XR3
             wireless     = baseline, cell-edge:60:40, far:80:-
             mobility     = static, vehicle:20:15
+            frames_per_session = 10, 40
             replications = 4
         ";
         let grid = parse_grid_spec(spec).unwrap();
         assert_eq!(grid.replications(), 4);
         // 2 sizes × 1 clock × 3 targets × 2 devices × 3 links × 2 mobility
-        assert_eq!(grid.len(), 72);
+        // × 2 campaign sizes
+        assert_eq!(grid.len(), 144);
+        assert!(grid
+            .points()
+            .unwrap()
+            .iter()
+            .all(|p| matches!(p.frames_per_session, Some(10) | Some(40))));
         let points = grid.points().unwrap();
         // Frame size innermost (2 values), so executions vary at stride 2.
         assert_eq!(
@@ -317,6 +345,8 @@ mod tests {
         assert!(err("mobility = vehicle:-1:15").contains("must be non-negative"));
         assert!(err("mobility = vehicle:20:0").contains("must be positive"));
         assert!(err("mobility = vehicle:fast:15").contains("not a number"));
+        assert!(err("frames_per_session = 0").contains("must be at least 1"));
+        assert!(err("frames_per_session = many").contains("not a positive integer"));
         assert!(err("replications = 0").contains("must be at least 1"));
         assert!(err("replications = 2, 3").contains("expected one value"));
         assert!(err("replications = two").contains("not a positive integer"));

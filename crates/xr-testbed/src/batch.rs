@@ -1,0 +1,688 @@
+//! The batched structure-of-arrays frame engine.
+//!
+//! [`TestbedSimulator::simulate_session`] runs through this engine by
+//! default: frames are simulated in batches of [`SimulationEngine`] width,
+//! and each of the ten pipeline stages runs as a tight loop over one
+//! *column* of the batch (all frames' frame-generation noise, then all
+//! frames' sensor jitter, …) instead of walking one frame through all ten
+//! stages at a time.
+//!
+//! Two properties make this reordering legal without changing a single
+//! random draw:
+//!
+//! 1. **Per-stage RNG streams.** Every draw of stage `s` at frame `f` comes
+//!    from the stream `stage_stream_seed(session_seed, s, f)`
+//!    ([`xr_types::seed`]), so a stage never observes how many draws another
+//!    stage consumed and columns can be evaluated in any order.
+//! 2. **Explicit carry for the sequential stages.** The only cross-frame
+//!    state — the mobility walker of the handoff stage — is advanced as one
+//!    in-order scan per batch ([`xr_wireless::RandomWalker::advance_many`]),
+//!    with its fractional-step carry preserved across batch boundaries.
+//!
+//! The payoff is architectural, not just micro-optimisation: everything
+//! that is constant across a session (`BatchConsts` — catalog lookups,
+//! true-law evaluations, link budgets, per-segment power levels and Eq. 1
+//! inclusion flags) is computed once instead of once per frame, the energy
+//! integral uses the allocation-free
+//! [`crate::power::PowerMonitor::measure_energy`] form, and each per-frame
+//! loop body is a handful of multiplications on a
+//! contiguous column — the seam a future SIMD pass vectorizes along.
+//!
+//! Bit-identity with the scalar reference
+//! ([`TestbedSimulator::simulate_session_scalar`]) is pinned by unit tests
+//! here, a cross-crate property test over random scenarios and batch
+//! widths, and a CI step that runs a whole campaign through both engines
+//! and diffs the CSVs.
+
+use crate::laws::DeviceBias;
+use crate::simulator::{
+    stream, GroundTruthFrame, GroundTruthSession, SessionState, TestbedSimulator,
+};
+use rand::Rng;
+use rand_distr::{Distribution, Exp, Normal};
+use std::collections::BTreeMap;
+use xr_core::Scenario;
+use xr_types::{Joules, Result, Seconds, Segment, Watts, SPEED_OF_LIGHT};
+use xr_wireless::{HandoffKind, WirelessLink};
+
+/// Default number of frames simulated per batch. Sessions shorter than the
+/// width still run batched (one partial batch); longer sessions amortise
+/// the per-batch column setup over this many frames.
+pub const DEFAULT_BATCH_WIDTH: usize = 64;
+
+/// Which implementation [`TestbedSimulator::simulate_session`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimulationEngine {
+    /// The frame-by-frame reference pipeline
+    /// ([`TestbedSimulator::simulate_session_scalar`]).
+    Scalar,
+    /// The structure-of-arrays engine: stages run as column loops over
+    /// `width` frames at a time (clamped to at least 1). Bit-identical to
+    /// [`SimulationEngine::Scalar`] for every width.
+    Batched {
+        /// Frames per batch.
+        width: usize,
+    },
+}
+
+impl Default for SimulationEngine {
+    fn default() -> Self {
+        SimulationEngine::Batched {
+            width: DEFAULT_BATCH_WIDTH,
+        }
+    }
+}
+
+/// Everything about one `(simulator, scenario)` pair that is constant
+/// across frames, hoisted out of the per-frame loops: the deterministic
+/// base latency of every stage (the scalar pipeline recomputes these per
+/// frame), the per-segment power levels and Eq. 1 inclusion flags of the
+/// finalizer, and the handoff-stage mobility parameters.
+struct BatchConsts {
+    noise: Option<Normal>,
+    // Stage 1 — generate.
+    generation_base: Seconds,
+    volumetric_base: Seconds,
+    // Stage 2 — sense: per sensor, (generation period, propagation delay).
+    sensors: Vec<(Seconds, Seconds)>,
+    updates_per_frame: u32,
+    // Stage 3 — buffer: one sojourn distribution per stable flow.
+    flows: Vec<Exp>,
+    // Stage 4 — encode (`None` when the path is gated off: no base latency
+    // *and no noise draw*, matching the scalar gating).
+    conversion_base: Option<Seconds>,
+    encoding_base: Option<Seconds>,
+    // Stage 5 — local inference (includes the client share factor).
+    local_base: Option<Seconds>,
+    // Stage 6 — uplink + edge: per server, (weighted inference base,
+    // transmission base).
+    edges: Vec<(Seconds, Seconds)>,
+    // Stage 7 — handoff.
+    mobile: bool,
+    window: Seconds,
+    handoff_base: Seconds,
+    // Stage 8 — render.
+    render_base: Seconds,
+    result_delivery: Seconds,
+    // Stage 9 — cooperate.
+    cooperation_base: Seconds,
+    // Stage 10 — finalize: per segment (in `Segment::ALL` order, the
+    // iteration order of the scalar finalizer's BTreeMap), the power level,
+    // the Eq. 1 inclusion flag, and whether it counts as compute for the
+    // thermal share.
+    segment_power: [Watts; Segment::ALL.len()],
+    segment_included: [bool; Segment::ALL.len()],
+    segment_is_compute: [bool; Segment::ALL.len()],
+    /// `mix(session_seed, stage_id)` per stage — the first half of
+    /// [`stage_stream_seed`], hoisted so the per-frame stream derivation is
+    /// a single `mix` against the frame index.
+    stage_seed_base: [u64; 11],
+}
+
+impl BatchConsts {
+    fn new(simulator: &TestbedSimulator, scenario: &Scenario) -> Self {
+        let client = &scenario.client;
+        let bias = DeviceBias::for_device(&client.name);
+        let c_true = simulator.laws.compute_resource(
+            client.cpu_clock,
+            client.gpu_clock,
+            client.cpu_share,
+            bias,
+        );
+        let memory = client.memory_bandwidth;
+        let uses_local = scenario.execution.uses_client();
+        let uses_edge = scenario.execution.uses_edge();
+        let client_share = scenario.execution.client_share();
+        let edge_share = scenario.execution.edge_share();
+        let frame = &scenario.frame;
+        let ms = TestbedSimulator::ms;
+
+        let mu = scenario.buffer.service_rate;
+        let frame_rate = frame.frame_rate.as_f64();
+        let flows = [
+            scenario.buffer.frame_arrival_rate.unwrap_or(frame_rate),
+            scenario
+                .buffer
+                .volumetric_arrival_rate
+                .unwrap_or(frame_rate),
+            scenario.external_arrival_rate(),
+        ]
+        .into_iter()
+        .filter(|&lambda| lambda > 0.0 && lambda < mu)
+        .map(|lambda| Exp::new(mu - lambda).expect("positive rate"))
+        .collect();
+
+        let encode_work = simulator
+            .laws
+            .encoding_work(&scenario.encoding, frame, bias);
+        let local_complexity = simulator.laws.cnn_complexity(&scenario.local_cnn);
+        let remote_complexity = simulator.laws.cnn_complexity(&scenario.remote_cnn);
+
+        let mut edges = Vec::new();
+        if uses_edge && !scenario.edge_servers.is_empty() {
+            let total_share: f64 = scenario.edge_servers.iter().map(|srv| srv.task_share).sum();
+            for (i, server) in scenario.edge_servers.iter().enumerate() {
+                let c_edge = simulator.edge_resource(scenario, i, c_true);
+                let weight = if total_share > 0.0 {
+                    server.task_share / total_share * edge_share
+                } else {
+                    0.0
+                };
+                let decode = ms(encode_work * simulator.laws.decode_discount(), c_edge);
+                let infer = ms(frame.encoded_size.as_f64() * remote_complexity, c_edge)
+                    + frame.encoded_data / server.memory_bandwidth
+                    + decode;
+                let link = WirelessLink::new(server.technology, server.distance);
+                let link = match server.throughput {
+                    Some(t) => link.with_throughput(t),
+                    None => link,
+                };
+                edges.push((
+                    infer * weight,
+                    link.transmission_latency(frame.encoded_data),
+                ));
+            }
+        }
+
+        let mobile = uses_edge && scenario.mobility.speed.as_f64() > 0.0;
+        let window = scenario.frame_window();
+        let handoff_base = match scenario.mobility.handoff_kind {
+            HandoffKind::Horizontal => Seconds::new(0.065),
+            HandoffKind::Vertical => Seconds::new(1.2),
+        };
+
+        let result_payload = xr_types::MegaBytes::new(0.01);
+        let result_delivery = if uses_edge && !scenario.edge_servers.is_empty() {
+            let server = &scenario.edge_servers[0];
+            let link = WirelessLink::new(server.technology, server.distance);
+            let link = match server.throughput {
+                Some(t) => link.with_throughput(t),
+                None => link,
+            };
+            link.transmission_latency(result_payload)
+        } else {
+            result_payload / memory
+        };
+
+        // All three per-segment tables precompute the *shared* finalizer
+        // classification helpers, so the engines cannot drift apart.
+        let compute_power =
+            simulator
+                .laws
+                .mean_power(client.cpu_clock, client.gpu_clock, client.cpu_share, bias);
+        let mut segment_power = [Watts::ZERO; Segment::ALL.len()];
+        let mut segment_included = [false; Segment::ALL.len()];
+        let mut segment_is_compute = [false; Segment::ALL.len()];
+        for (slot, &segment) in Segment::ALL.iter().enumerate() {
+            segment_is_compute[slot] = TestbedSimulator::segment_is_compute(segment);
+            segment_power[slot] = simulator.segment_power(segment, compute_power);
+            segment_included[slot] =
+                TestbedSimulator::segment_included(scenario, segment, uses_local, uses_edge);
+        }
+
+        Self {
+            noise: (simulator.noise_sigma > 0.0)
+                .then(|| Normal::new(0.0, simulator.noise_sigma).expect("valid sigma")),
+            generation_base: frame.frame_rate.period()
+                + ms(frame.raw_size.as_f64(), c_true)
+                + frame.raw_data / memory,
+            volumetric_base: ms(frame.scene_size.as_f64(), c_true) + frame.volumetric_data / memory,
+            sensors: scenario
+                .sensors
+                .iter()
+                .map(|s| (s.generation_frequency.period(), s.distance / SPEED_OF_LIGHT))
+                .collect(),
+            updates_per_frame: scenario.updates_per_frame,
+            flows,
+            conversion_base: uses_local
+                .then(|| ms(frame.raw_size.as_f64(), c_true) + frame.raw_data / memory),
+            encoding_base: uses_edge.then(|| ms(encode_work, c_true) + frame.raw_data / memory),
+            local_base: (uses_local && client_share > 0.0).then(|| {
+                (ms(frame.converted_size.as_f64() * local_complexity, c_true)
+                    + frame.converted_data / memory)
+                    * client_share
+            }),
+            edges,
+            mobile,
+            window,
+            handoff_base,
+            render_base: ms(frame.raw_size.as_f64(), c_true) + frame.raw_data / memory,
+            result_delivery,
+            cooperation_base: scenario.cooperation.payload / scenario.cooperation.throughput
+                + scenario.cooperation.distance / SPEED_OF_LIGHT,
+            segment_power,
+            segment_included,
+            segment_is_compute,
+            stage_seed_base: std::array::from_fn(|stage| {
+                xr_types::seed::mix(simulator.seed, stage as u64)
+            }),
+        }
+    }
+
+    /// One multiplicative noise factor, drawing from `rng` exactly like the
+    /// scalar pipeline's `TestbedSimulator::noise` (no draw when noiseless).
+    fn noise(&self, rng: &mut rand::rngs::StdRng) -> f64 {
+        match &self.noise {
+            Some(normal) => normal.sample(rng).exp(),
+            None => 1.0,
+        }
+    }
+
+    /// The stage's RNG stream for one frame — bit-identical to
+    /// [`TestbedSimulator::stage_rng`], with the stage half of the seed
+    /// derivation precomputed.
+    fn rng(&self, stage: u64, frame_index: u64) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(xr_types::seed::mix(
+            self.stage_seed_base[stage as usize],
+            frame_index,
+        ))
+    }
+}
+
+/// One batch of frames in structure-of-arrays layout: a column per pipeline
+/// output plus the scratch buffers the stages reuse across batches. Columns
+/// are indexed by position within the batch; the absolute frame index is
+/// `first_index + i`.
+struct FrameBatch {
+    first_index: u64,
+    n: usize,
+    /// One latency column per segment, in `Segment::ALL` order.
+    latency: [Vec<Seconds>; Segment::ALL.len()],
+    buffering: Vec<Seconds>,
+    handoff_occurred: Vec<bool>,
+    /// Scratch: the per-frame observation windows fed to `advance_many`.
+    windows: Vec<Seconds>,
+    /// Scratch: the finalizer's per-frame power phases.
+    phases: Vec<(Watts, Seconds)>,
+}
+
+/// Column positions in `Segment::ALL` order, kept as named constants so the
+/// stage loops read like the scalar pipeline.
+const GENERATION: usize = 0;
+const VOLUMETRIC: usize = 1;
+const EXTERNAL: usize = 2;
+const CONVERSION: usize = 3;
+const ENCODING: usize = 4;
+const LOCAL_INFERENCE: usize = 5;
+const REMOTE_INFERENCE: usize = 6;
+const RENDERING: usize = 7;
+const TRANSMISSION: usize = 8;
+const HANDOFF: usize = 9;
+const COOPERATION: usize = 10;
+
+impl FrameBatch {
+    fn new() -> Self {
+        Self {
+            first_index: 0,
+            n: 0,
+            latency: Default::default(),
+            buffering: Vec::new(),
+            handoff_occurred: Vec::new(),
+            windows: Vec::new(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Rewinds the batch onto `n` frames starting at absolute frame index
+    /// `first_index`, zeroing every column.
+    fn reset(&mut self, first_index: u64, n: usize) {
+        self.first_index = first_index;
+        self.n = n;
+        for column in &mut self.latency {
+            column.clear();
+            column.resize(n, Seconds::ZERO);
+        }
+        self.buffering.clear();
+        self.buffering.resize(n, Seconds::ZERO);
+        self.handoff_occurred.clear();
+        self.handoff_occurred.resize(n, false);
+    }
+
+    fn frame_index(&self, i: usize) -> u64 {
+        self.first_index + i as u64
+    }
+}
+
+impl TestbedSimulator {
+    /// [`TestbedSimulator::simulate_session`] through the batched
+    /// structure-of-arrays engine with an explicit batch `width` (clamped to
+    /// at least 1). Bit-identical to the scalar reference for every width,
+    /// including widths that do not divide the frame count.
+    ///
+    /// # Errors
+    ///
+    /// Returns scenario-validation errors; `frames` must be at least 1.
+    pub fn simulate_session_batched(
+        &self,
+        scenario: &Scenario,
+        frames: u64,
+        width: usize,
+    ) -> Result<GroundTruthSession> {
+        if frames == 0 {
+            return Err(xr_types::Error::invalid_parameter(
+                "frames",
+                "must be at least 1",
+            ));
+        }
+        scenario.validate()?;
+        let width = width.max(1) as u64;
+        let consts = BatchConsts::new(self, scenario);
+        let mut session = SessionState::new(self, scenario);
+        let mut batch = FrameBatch::new();
+        let mut out = Vec::with_capacity(frames as usize);
+        let mut first = 1u64;
+        while first <= frames {
+            let n = width.min(frames - first + 1) as usize;
+            batch.reset(first, n);
+            self.batch_generate(&consts, &mut batch);
+            self.batch_sense(&consts, &mut batch);
+            self.batch_buffer(&consts, &mut batch);
+            self.batch_encode(&consts, &mut batch);
+            self.batch_local_inference(&consts, &mut batch);
+            self.batch_uplink_and_edge(&consts, &mut batch);
+            self.batch_handoff(&consts, &mut batch, &mut session);
+            self.batch_render(&consts, &mut batch);
+            self.batch_cooperate(&consts, &mut batch);
+            self.batch_finalize(&consts, &mut batch, &mut out);
+            first += n as u64;
+        }
+        Ok(GroundTruthSession { frames: out })
+    }
+
+    /// Stage 1 column loop — frame/volumetric generation noise.
+    fn batch_generate(&self, k: &BatchConsts, b: &mut FrameBatch) {
+        for i in 0..b.n {
+            let mut rng = k.rng(stream::GENERATE, b.frame_index(i));
+            b.latency[GENERATION][i] = k.generation_base * k.noise(&mut rng);
+            b.latency[VOLUMETRIC][i] = k.volumetric_base * k.noise(&mut rng);
+        }
+    }
+
+    /// Stage 2 column loop — per-update sensor jitter, slowest sensor wins.
+    fn batch_sense(&self, k: &BatchConsts, b: &mut FrameBatch) {
+        for i in 0..b.n {
+            let mut rng = k.rng(stream::SENSE, b.frame_index(i));
+            let mut ext = Seconds::ZERO;
+            for &(period, propagation) in &k.sensors {
+                let mut sensor_total = Seconds::ZERO;
+                for _ in 0..k.updates_per_frame {
+                    let jitter = 1.0 + rng.gen_range(-0.05..0.05);
+                    sensor_total += period * jitter + propagation;
+                }
+                ext = ext.max(sensor_total);
+            }
+            b.latency[EXTERNAL][i] = ext;
+        }
+    }
+
+    /// Stage 3 column loop — M/M/1 sojourn sampling per stable flow.
+    fn batch_buffer(&self, k: &BatchConsts, b: &mut FrameBatch) {
+        for i in 0..b.n {
+            let mut rng = k.rng(stream::BUFFER, b.frame_index(i));
+            let mut buffering = Seconds::ZERO;
+            for flow in &k.flows {
+                buffering += Seconds::new(flow.sample(&mut rng));
+            }
+            b.buffering[i] = buffering;
+        }
+    }
+
+    /// Stage 4 column loop — conversion (local path) and encoding (edge
+    /// path) noise; gated paths draw nothing, like the scalar stage.
+    fn batch_encode(&self, k: &BatchConsts, b: &mut FrameBatch) {
+        for i in 0..b.n {
+            let mut rng = k.rng(stream::ENCODE, b.frame_index(i));
+            if let Some(base) = k.conversion_base {
+                b.latency[CONVERSION][i] = base * k.noise(&mut rng);
+            }
+            if let Some(base) = k.encoding_base {
+                b.latency[ENCODING][i] = base * k.noise(&mut rng);
+            }
+        }
+    }
+
+    /// Stage 5 column loop — the on-device CNN share.
+    fn batch_local_inference(&self, k: &BatchConsts, b: &mut FrameBatch) {
+        let Some(base) = k.local_base else { return };
+        for i in 0..b.n {
+            let mut rng = k.rng(stream::LOCAL_INFERENCE, b.frame_index(i));
+            b.latency[LOCAL_INFERENCE][i] = base * k.noise(&mut rng);
+        }
+    }
+
+    /// Stage 6 column loop — weighted-slowest edge compute and slowest
+    /// uplink, one noise + jitter pair per server per frame.
+    fn batch_uplink_and_edge(&self, k: &BatchConsts, b: &mut FrameBatch) {
+        if k.edges.is_empty() {
+            return;
+        }
+        for i in 0..b.n {
+            let mut rng = k.rng(stream::UPLINK_EDGE, b.frame_index(i));
+            let mut remote = Seconds::ZERO;
+            let mut transmission = Seconds::ZERO;
+            for &(infer_weighted, tx_base) in &k.edges {
+                remote = remote.max(infer_weighted * k.noise(&mut rng));
+                let wireless_jitter = 1.0 + rng.gen_range(0.0..0.12);
+                transmission = transmission.max(tx_base * wireless_jitter);
+            }
+            b.latency[REMOTE_INFERENCE][i] = remote;
+            b.latency[TRANSMISSION][i] = transmission;
+        }
+    }
+
+    /// Stage 7 — the sequential stage: advance the session walker through
+    /// the whole batch as one in-order scan (`advance_many` preserves the
+    /// fractional-step carry across batches), then price each frame's
+    /// crossings from its own handoff stream.
+    fn batch_handoff(&self, k: &BatchConsts, b: &mut FrameBatch, session: &mut SessionState) {
+        if !k.mobile {
+            return;
+        }
+        // A batched session always owns its SessionState, and SessionState::new
+        // creates a walker whenever the device moves — which `k.mobile`
+        // implies. (The scalar pipeline's Bernoulli fallback only exists for
+        // standalone frames outside any session, which never reach this
+        // engine.)
+        let walker = session
+            .walker
+            .as_mut()
+            .expect("a mobile batched session always carries a walker");
+        b.windows.clear();
+        b.windows.resize(b.n, k.window);
+        let crossings = walker.advance_many(&b.windows);
+        for (i, &count) in crossings.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let mut rng = k.rng(stream::HANDOFF, b.frame_index(i));
+            b.handoff_occurred[i] = true;
+            session.handoffs += count as u64;
+            b.latency[HANDOFF][i] = k.handoff_base * count as f64 * k.noise(&mut rng);
+        }
+    }
+
+    /// Stage 8 column loop — rendering noise plus the frame's buffered
+    /// input and the (constant) result delivery.
+    fn batch_render(&self, k: &BatchConsts, b: &mut FrameBatch) {
+        for i in 0..b.n {
+            let mut rng = k.rng(stream::RENDER, b.frame_index(i));
+            b.latency[RENDERING][i] =
+                k.render_base * k.noise(&mut rng) + b.buffering[i] + k.result_delivery;
+        }
+    }
+
+    /// Stage 9 column loop — cooperation-exchange noise.
+    fn batch_cooperate(&self, k: &BatchConsts, b: &mut FrameBatch) {
+        for i in 0..b.n {
+            let mut rng = k.rng(stream::COOPERATE, b.frame_index(i));
+            b.latency[COOPERATION][i] = k.cooperation_base * k.noise(&mut rng);
+        }
+    }
+
+    /// Stage 10 — Eq. 1 gating and the Monsoon-style energy measurement,
+    /// one output frame per column entry. Iterates segments in
+    /// `Segment::ALL` order — the same order the scalar finalizer's
+    /// `BTreeMap` yields — so every floating-point sum accumulates
+    /// identically.
+    fn batch_finalize(&self, k: &BatchConsts, b: &mut FrameBatch, out: &mut Vec<GroundTruthFrame>) {
+        for i in 0..b.n {
+            let mut total_latency = Seconds::ZERO;
+            for (slot, &included) in k.segment_included.iter().enumerate() {
+                if included {
+                    total_latency += b.latency[slot][i];
+                }
+            }
+
+            b.phases.clear();
+            let mut compute_energy = Joules::ZERO;
+            let mut energies = [Joules::ZERO; Segment::ALL.len()];
+            for (slot, energy) in energies.iter_mut().enumerate() {
+                let duration = b.latency[slot][i];
+                let power = k.segment_power[slot];
+                let seg_energy = power * duration;
+                *energy = seg_energy;
+                if k.segment_included[slot] {
+                    b.phases.push((power, duration));
+                    if k.segment_is_compute[slot] {
+                        compute_energy += seg_energy;
+                    }
+                }
+            }
+            let trace_energy = self.monitor.measure_energy(
+                &b.phases,
+                self.base_power,
+                xr_types::seed::mix(
+                    k.stage_seed_base[stream::MONITOR as usize],
+                    b.frame_index(i),
+                ),
+            );
+            let thermal = compute_energy * self.thermal_fraction;
+            // `Segment::ALL` is sorted, so these collect through the
+            // BTreeMap bulk-building path instead of repeated inserts.
+            let latency: BTreeMap<Segment, Seconds> = Segment::ALL
+                .iter()
+                .enumerate()
+                .map(|(slot, &segment)| (segment, b.latency[slot][i]))
+                .collect();
+            let energy: BTreeMap<Segment, Joules> = Segment::ALL
+                .iter()
+                .zip(energies)
+                .map(|(&segment, value)| (segment, value))
+                .collect();
+            out.push(GroundTruthFrame {
+                latency,
+                total_latency,
+                energy,
+                total_energy: trace_energy + thermal,
+                handoff_occurred: b.handoff_occurred[i],
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xr_types::{ExecutionTarget, GigaHertz, Meters, MetersPerSecond};
+
+    fn scenario(side: f64, clock: f64, target: ExecutionTarget) -> Scenario {
+        Scenario::builder()
+            .frame_side(side)
+            .cpu_clock(GigaHertz::new(clock))
+            .execution(target)
+            .build()
+            .unwrap()
+    }
+
+    fn mobile_scenario(speed: f64, radius: f64) -> Scenario {
+        Scenario::builder()
+            .execution(ExecutionTarget::Remote)
+            .mobility(xr_core::MobilityConfig {
+                speed: MetersPerSecond::new(speed),
+                coverage_radius: Meters::new(radius),
+                handoff_kind: HandoffKind::Vertical,
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn batched_sessions_match_the_scalar_reference_bit_for_bit() {
+        let testbed = TestbedSimulator::new(42);
+        for target in [
+            ExecutionTarget::Local,
+            ExecutionTarget::Remote,
+            ExecutionTarget::Split { client_share: 0.3 },
+        ] {
+            let s = scenario(500.0, 2.0, target);
+            let scalar = testbed.simulate_session_scalar(&s, 37).unwrap();
+            for width in [1, 2, 7, 37, 64, 100] {
+                let batched = testbed.simulate_session_batched(&s, 37, width).unwrap();
+                assert_eq!(batched, scalar, "{target:?} diverged at width {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_mobile_sessions_preserve_the_walker_carry_across_batches() {
+        // The sequential handoff scan is the only cross-frame state; widths
+        // that chop the session mid-walk must not lose the fractional-step
+        // carry or re-seed the walker.
+        let testbed = TestbedSimulator::new(5);
+        let s = mobile_scenario(25.0, 8.0);
+        let scalar = testbed.simulate_session_scalar(&s, 101).unwrap();
+        assert!(scalar.handoff_rate() > 0.0, "mobile session never crossed");
+        for width in [1, 3, 16, 101, 128] {
+            let batched = testbed.simulate_session_batched(&s, 101, width).unwrap();
+            assert_eq!(batched, scalar, "mobile session diverged at width {width}");
+        }
+    }
+
+    #[test]
+    fn default_engine_is_batched_and_dispatch_honors_overrides() {
+        let testbed = TestbedSimulator::new(9);
+        assert_eq!(
+            testbed.engine(),
+            SimulationEngine::Batched {
+                width: DEFAULT_BATCH_WIDTH
+            }
+        );
+        let s = scenario(400.0, 2.5, ExecutionTarget::Remote);
+        let default = testbed.simulate_session(&s, 23).unwrap();
+        let scalar = testbed
+            .clone()
+            .with_engine(SimulationEngine::Scalar)
+            .simulate_session(&s, 23)
+            .unwrap();
+        let narrow = testbed
+            .clone()
+            .with_engine(SimulationEngine::Batched { width: 0 })
+            .simulate_session(&s, 23)
+            .unwrap();
+        assert_eq!(default, scalar);
+        assert_eq!(narrow, scalar, "width 0 clamps to 1");
+        // The engine survives reseeding (campaign replications keep their
+        // configured engine).
+        assert_eq!(testbed.reseeded(77).engine(), testbed.engine());
+    }
+
+    #[test]
+    fn batched_rejects_zero_frames_and_invalid_scenarios() {
+        let testbed = TestbedSimulator::new(3);
+        let s = scenario(500.0, 2.0, ExecutionTarget::Local);
+        assert!(testbed.simulate_session_batched(&s, 0, 8).is_err());
+        let mut broken = s;
+        broken.updates_per_frame = 0;
+        assert!(testbed.simulate_session_batched(&broken, 5, 8).is_err());
+    }
+
+    #[test]
+    fn noiseless_batches_still_match() {
+        let testbed = TestbedSimulator::new(11).with_noise(0.0);
+        let s = scenario(600.0, 1.5, ExecutionTarget::Remote);
+        let scalar = testbed.simulate_session_scalar(&s, 10).unwrap();
+        let batched = testbed.simulate_session_batched(&s, 10, 4).unwrap();
+        assert_eq!(batched, scalar);
+    }
+}

@@ -17,7 +17,11 @@
 //!   every 0.2 ms and integrating it to energy.
 //! * [`simulator`] — the per-frame / per-session pipeline simulator that
 //!   produces ground-truth latency and energy breakdowns (with queueing,
-//!   handoff, and measurement noise).
+//!   handoff, and measurement noise). Every stage draws from its own named
+//!   RNG stream keyed by `(session_seed, stage_id, frame_index)`.
+//! * [`batch`] — the batched structure-of-arrays session engine: stages run
+//!   as column loops over many frames, bit-identical to the scalar
+//!   reference; [`TestbedSimulator::simulate_session`] uses it by default.
 //! * [`aoi`] — event-driven ground truth for the AoI experiments.
 //! * [`dataset`] — measurement-campaign generation (the 119 465-sample
 //!   training set and 36 083-sample test set) and regression refitting, which
@@ -38,12 +42,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod aoi;
+pub mod batch;
 pub mod dataset;
 pub mod laws;
 pub mod power;
 pub mod simulator;
 
 pub use aoi::AoiGroundTruth;
+pub use batch::{SimulationEngine, DEFAULT_BATCH_WIDTH};
 pub use dataset::{CalibratedModels, MeasurementCampaign, MeasurementDataset};
 pub use laws::{DeviceBias, TrueLaws};
 pub use power::{PowerMonitor, PowerTrace};

@@ -8,9 +8,16 @@
 //!
 //! ## The staged frame pipeline
 //!
-//! A frame flows through explicit stages, each consuming its share of the
-//! per-frame RNG stream in a fixed order (the order is load-bearing: it is
-//! what makes a static session bit-reproducible across refactors):
+//! A frame flows through explicit stages. Each stage draws from its **own
+//! named RNG stream**, seeded as a pure function of
+//! `(session_seed, stage_id, frame_index)` via
+//! [`xr_types::seed::stage_stream_seed`] (the [`stream`] module names the
+//! stage ids). Because no stage's draws depend on how many draws another
+//! stage consumed, the stages of different frames can be evaluated in any
+//! order — frame-by-frame (the scalar reference implementation) or
+//! column-by-column over a whole batch of frames (the structure-of-arrays
+//! engine in [`crate::batch`], the default for sessions) — and produce
+//! bit-identical [`GroundTruthFrame`]s:
 //!
 //! 1. **generate** — capture, ISP compute, volumetric data;
 //! 2. **sense** — external sensor updates and propagation;
@@ -34,6 +41,7 @@
 //! frame, which is why [`GroundTruthSession::handoff_rate`] is nonzero for
 //! a moving user.
 
+use crate::batch::SimulationEngine;
 use crate::laws::{DeviceBias, TrueLaws};
 use crate::power::PowerMonitor;
 use rand::rngs::StdRng;
@@ -44,8 +52,41 @@ use std::collections::BTreeMap;
 use xr_core::Scenario;
 use xr_devices::DeviceCatalog;
 use xr_stats::Summary;
+use xr_types::seed::stage_stream_seed;
 use xr_types::{Joules, Ratio, Result, Seconds, Segment, Watts, SPEED_OF_LIGHT};
 use xr_wireless::{CoverageZone, HandoffKind, RandomWalkMobility, RandomWalker, WirelessLink};
+
+/// Stable identifiers of the simulator's named RNG streams.
+///
+/// Every stochastic draw of the frame pipeline comes from the stream
+/// `stage_stream_seed(session_seed, stage_id, frame_index)` of its stage;
+/// the ids below are part of the determinism contract (changing one re-keys
+/// that stage's noise everywhere) and must never be reused.
+pub mod stream {
+    /// Stage 1 — frame generation noise.
+    pub const GENERATE: u64 = 0;
+    /// Stage 2 — external-sensor propagation jitter.
+    pub const SENSE: u64 = 1;
+    /// Stage 3 — M/M/1 input-buffer sojourn sampling.
+    pub const BUFFER: u64 = 2;
+    /// Stage 4 — conversion/encoding measurement noise.
+    pub const ENCODE: u64 = 3;
+    /// Stage 5 — local-inference measurement noise.
+    pub const LOCAL_INFERENCE: u64 = 4;
+    /// Stage 6 — edge-compute noise and wireless jitter.
+    pub const UPLINK_EDGE: u64 = 5;
+    /// Stage 7 — handoff fallback draw and handoff-latency noise.
+    pub const HANDOFF: u64 = 6;
+    /// Stage 8 — rendering measurement noise.
+    pub const RENDER: u64 = 7;
+    /// Stage 9 — cooperation measurement noise.
+    pub const COOPERATE: u64 = 8;
+    /// Stage 10 — the Monsoon-style power monitor's sampling noise.
+    pub const MONITOR: u64 = 9;
+    /// Session-scoped stream of the mobility walker (frame index 0: the
+    /// walker lives across frames and owns one stream per session).
+    pub const WALKER: u64 = 10;
+}
 
 /// Ground-truth measurements for one frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -79,7 +120,7 @@ impl GroundTruthFrame {
 /// Ground-truth measurements for a whole session (many frames).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GroundTruthSession {
-    frames: Vec<GroundTruthFrame>,
+    pub(crate) frames: Vec<GroundTruthFrame>,
 }
 
 impl GroundTruthSession {
@@ -171,18 +212,20 @@ impl GroundTruthSession {
 /// The testbed simulator.
 #[derive(Debug, Clone)]
 pub struct TestbedSimulator {
-    laws: TrueLaws,
-    monitor: PowerMonitor,
-    seed: u64,
+    pub(crate) laws: TrueLaws,
+    pub(crate) monitor: PowerMonitor,
+    pub(crate) seed: u64,
     /// True radio power levels (transmit, receive, idle-wait) — close to, but
     /// not identical with, the analytical model's defaults.
-    radio_tx: Watts,
-    radio_rx: Watts,
-    radio_idle: Watts,
-    base_power: Watts,
-    thermal_fraction: f64,
+    pub(crate) radio_tx: Watts,
+    pub(crate) radio_rx: Watts,
+    pub(crate) radio_idle: Watts,
+    pub(crate) base_power: Watts,
+    pub(crate) thermal_fraction: f64,
     /// Relative standard deviation of per-segment measurement noise.
-    noise_sigma: f64,
+    pub(crate) noise_sigma: f64,
+    /// Which engine [`TestbedSimulator::simulate_session`] dispatches to.
+    engine: SimulationEngine,
 }
 
 impl TestbedSimulator {
@@ -200,7 +243,23 @@ impl TestbedSimulator {
             base_power: Watts::new(0.85),
             thermal_fraction: 0.045,
             noise_sigma: 0.04,
+            engine: SimulationEngine::default(),
         }
+    }
+
+    /// Overrides the session-simulation engine (sessions default to the
+    /// batched structure-of-arrays engine; [`SimulationEngine::Scalar`] is
+    /// the frame-by-frame reference both must match bit for bit).
+    #[must_use]
+    pub fn with_engine(mut self, engine: SimulationEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The session-simulation engine in effect.
+    #[must_use]
+    pub fn engine(&self) -> SimulationEngine {
+        self.engine
     }
 
     /// Overrides the true laws (used by failure-injection tests).
@@ -244,7 +303,7 @@ impl TestbedSimulator {
         &self.laws
     }
 
-    fn noise(&self, rng: &mut StdRng) -> f64 {
+    pub(crate) fn noise(&self, rng: &mut StdRng) -> f64 {
         if self.noise_sigma <= 0.0 {
             return 1.0;
         }
@@ -252,11 +311,23 @@ impl TestbedSimulator {
         normal.sample(rng).exp()
     }
 
-    fn ms(pixels_equiv: f64, resource: f64) -> Seconds {
+    /// The RNG for one named stage stream of one frame: a pure function of
+    /// `(session_seed, stage_id, frame_index)`, shared by the scalar and
+    /// batched pipelines so both draw identical noise.
+    pub(crate) fn stage_rng(&self, stage: u64, frame_index: u64) -> StdRng {
+        StdRng::seed_from_u64(stage_stream_seed(self.seed, stage, frame_index))
+    }
+
+    pub(crate) fn ms(pixels_equiv: f64, resource: f64) -> Seconds {
         Seconds::from_millis(pixels_equiv / resource.max(f64::MIN_POSITIVE))
     }
 
-    fn edge_resource(&self, scenario: &Scenario, index: usize, client_resource: f64) -> f64 {
+    pub(crate) fn edge_resource(
+        &self,
+        scenario: &Scenario,
+        index: usize,
+        client_resource: f64,
+    ) -> f64 {
         let Some(server) = scenario.edge_servers.get(index) else {
             return client_resource * self.laws.edge_speedup;
         };
@@ -277,9 +348,40 @@ impl TestbedSimulator {
         }
     }
 
+    /// Whether `segment` runs on the compute rail (CPU/GPU work that feeds
+    /// the thermal share) as opposed to a radio rail — the classification
+    /// shared by the scalar finalizer and the batched engine's precomputed
+    /// per-segment tables, so the two can never drift apart.
+    pub(crate) fn segment_is_compute(segment: Segment) -> bool {
+        matches!(
+            segment,
+            Segment::FrameGeneration
+                | Segment::VolumetricDataGeneration
+                | Segment::FrameConversion
+                | Segment::FrameEncoding
+                | Segment::LocalInference
+                | Segment::FrameRendering
+        )
+    }
+
+    /// The power level drawn while `segment` runs: the device's mean
+    /// compute power for compute segments, otherwise the matching radio
+    /// rail. Shared by both engines like
+    /// [`TestbedSimulator::segment_is_compute`].
+    pub(crate) fn segment_power(&self, segment: Segment, compute_power: Watts) -> Watts {
+        if Self::segment_is_compute(segment) {
+            return compute_power;
+        }
+        match segment {
+            Segment::ExternalSensorInformation => self.radio_rx,
+            Segment::Transmission | Segment::XrCooperation | Segment::Handoff => self.radio_tx,
+            _ => self.radio_idle, // RemoteInference: the device waits.
+        }
+    }
+
     /// Whether `segment` contributes to this scenario's end-to-end totals
     /// (the Eq. 1 gating shared by the latency and energy finalizers).
-    fn segment_included(
+    pub(crate) fn segment_included(
         scenario: &Scenario,
         segment: Segment,
         uses_local: bool,
@@ -344,15 +446,16 @@ impl TestbedSimulator {
     /// Stage 1 — frame generation (capture interval + ISP compute + memory
     /// writes) and volumetric data generation.
     fn stage_generate(&self, s: &mut FrameState<'_>) {
+        let mut rng = self.stage_rng(stream::GENERATE, s.frame_index);
         let frame = &s.scenario.frame;
         let generation = (frame.frame_rate.period()
             + Self::ms(frame.raw_size.as_f64(), s.c_true)
             + frame.raw_data / s.memory)
-            * self.noise(&mut s.rng);
+            * self.noise(&mut rng);
         s.latency.insert(Segment::FrameGeneration, generation);
         let volumetric = (Self::ms(frame.scene_size.as_f64(), s.c_true)
             + frame.volumetric_data / s.memory)
-            * self.noise(&mut s.rng);
+            * self.noise(&mut rng);
         s.latency
             .insert(Segment::VolumetricDataGeneration, volumetric);
     }
@@ -360,11 +463,12 @@ impl TestbedSimulator {
     /// Stage 2 — external sensor information: per-update generation +
     /// propagation with jitter; slowest sensor dominates.
     fn stage_sense(&self, s: &mut FrameState<'_>) {
+        let mut rng = self.stage_rng(stream::SENSE, s.frame_index);
         let mut ext = Seconds::ZERO;
         for sensor in &s.scenario.sensors {
             let mut sensor_total = Seconds::ZERO;
             for _ in 0..s.scenario.updates_per_frame {
-                let jitter = 1.0 + s.rng.gen_range(-0.05..0.05);
+                let jitter = 1.0 + rng.gen_range(-0.05..0.05);
                 sensor_total += sensor.generation_frequency.period() * jitter
                     + sensor.distance / SPEED_OF_LIGHT;
             }
@@ -377,6 +481,7 @@ impl TestbedSimulator {
     /// exponentially distributed with rate (µ − λ) in a stable M/M/1 queue.
     /// The sampled sojourn is consumed by the render stage.
     fn stage_buffer(&self, s: &mut FrameState<'_>) {
+        let mut rng = self.stage_rng(stream::BUFFER, s.frame_index);
         let mu = s.scenario.buffer.service_rate;
         let frame_rate = s.scenario.frame.frame_rate.as_f64();
         for lambda in [
@@ -391,24 +496,25 @@ impl TestbedSimulator {
                 continue;
             }
             let exp = Exp::new(mu - lambda).expect("positive rate");
-            s.buffering += Seconds::new(exp.sample(&mut s.rng));
+            s.buffering += Seconds::new(exp.sample(&mut rng));
         }
     }
 
     /// Stage 4 — frame conversion (local path) and H.264 encoding (edge
     /// path), using the true encoder law.
     fn stage_encode(&self, s: &mut FrameState<'_>) {
+        let mut rng = self.stage_rng(stream::ENCODE, s.frame_index);
         let frame = &s.scenario.frame;
         let conversion = if s.uses_local {
             (Self::ms(frame.raw_size.as_f64(), s.c_true) + frame.raw_data / s.memory)
-                * self.noise(&mut s.rng)
+                * self.noise(&mut rng)
         } else {
             Seconds::ZERO
         };
         s.latency.insert(Segment::FrameConversion, conversion);
         s.encode_work = self.laws.encoding_work(&s.scenario.encoding, frame, s.bias);
         let encoding = if s.uses_edge {
-            (Self::ms(s.encode_work, s.c_true) + frame.raw_data / s.memory) * self.noise(&mut s.rng)
+            (Self::ms(s.encode_work, s.c_true) + frame.raw_data / s.memory) * self.noise(&mut rng)
         } else {
             Seconds::ZERO
         };
@@ -417,13 +523,14 @@ impl TestbedSimulator {
 
     /// Stage 5 — the on-device CNN share.
     fn stage_local_inference(&self, s: &mut FrameState<'_>) {
+        let mut rng = self.stage_rng(stream::LOCAL_INFERENCE, s.frame_index);
         let frame = &s.scenario.frame;
         let local_complexity = self.laws.cnn_complexity(&s.scenario.local_cnn);
         let local = if s.uses_local && s.client_share > 0.0 {
             (Self::ms(frame.converted_size.as_f64() * local_complexity, s.c_true)
                 + frame.converted_data / s.memory)
                 * s.client_share
-                * self.noise(&mut s.rng)
+                * self.noise(&mut rng)
         } else {
             Seconds::ZERO
         };
@@ -433,6 +540,7 @@ impl TestbedSimulator {
     /// Stage 6 — uplink transmission and remote inference: weighted-slowest
     /// edge server (decode + infer) and slowest uplink.
     fn stage_uplink_and_edge(&self, s: &mut FrameState<'_>) {
+        let mut rng = self.stage_rng(stream::UPLINK_EDGE, s.frame_index);
         let scenario = s.scenario;
         let frame = &scenario.frame;
         let remote_complexity = self.laws.cnn_complexity(&scenario.remote_cnn);
@@ -451,14 +559,14 @@ impl TestbedSimulator {
                 let infer = Self::ms(frame.encoded_size.as_f64() * remote_complexity, c_edge)
                     + frame.encoded_data / server.memory_bandwidth
                     + decode;
-                remote = remote.max(infer * weight * self.noise(&mut s.rng));
+                remote = remote.max(infer * weight * self.noise(&mut rng));
 
                 let link = WirelessLink::new(server.technology, server.distance);
                 let link = match server.throughput {
                     Some(t) => link.with_throughput(t),
                     None => link,
                 };
-                let wireless_jitter = 1.0 + s.rng.gen_range(0.0..0.12);
+                let wireless_jitter = 1.0 + rng.gen_range(0.0..0.12);
                 let tx = link.transmission_latency(frame.encoded_data) * wireless_jitter;
                 transmission = transmission.max(tx);
             }
@@ -472,6 +580,7 @@ impl TestbedSimulator {
     /// crossing is a handoff; for a standalone frame, a Bernoulli draw over
     /// the analytic per-window `P(HO)` stands in.
     fn stage_handoff(&self, s: &mut FrameState<'_>, session: &mut SessionState) {
+        let mut rng = self.stage_rng(stream::HANDOFF, s.frame_index);
         let scenario = s.scenario;
         let handoff_latency = if s.uses_edge && scenario.mobility.speed.as_f64() > 0.0 {
             let crossings = match session.walker.as_mut() {
@@ -483,7 +592,7 @@ impl TestbedSimulator {
                         CoverageZone::new(scenario.mobility.coverage_radius),
                     );
                     let p = mobility.handoff_probability(scenario.frame_window());
-                    usize::from(s.rng.gen_bool(p.clamp(0.0, 1.0)))
+                    usize::from(rng.gen_bool(p.clamp(0.0, 1.0)))
                 }
             };
             if crossings > 0 {
@@ -496,7 +605,7 @@ impl TestbedSimulator {
                     HandoffKind::Horizontal => Seconds::new(0.065),
                     HandoffKind::Vertical => Seconds::new(1.2),
                 };
-                base * crossings as f64 * self.noise(&mut s.rng)
+                base * crossings as f64 * self.noise(&mut rng)
             } else {
                 Seconds::ZERO
             }
@@ -509,6 +618,7 @@ impl TestbedSimulator {
     /// Stage 8 — rendering and downlink: compute + memory + buffered input +
     /// result delivery over the first edge link (or local memory).
     fn stage_render(&self, s: &mut FrameState<'_>) {
+        let mut rng = self.stage_rng(stream::RENDER, s.frame_index);
         let scenario = s.scenario;
         let frame = &scenario.frame;
         let result_payload = xr_types::MegaBytes::new(0.01);
@@ -524,7 +634,7 @@ impl TestbedSimulator {
             result_payload / s.memory
         };
         let rendering = (Self::ms(frame.raw_size.as_f64(), s.c_true) + frame.raw_data / s.memory)
-            * self.noise(&mut s.rng)
+            * self.noise(&mut rng)
             + s.buffering
             + result_delivery;
         s.latency.insert(Segment::FrameRendering, rendering);
@@ -532,15 +642,18 @@ impl TestbedSimulator {
 
     /// Stage 9 — XR cooperation exchange.
     fn stage_cooperate(&self, s: &mut FrameState<'_>) {
+        let mut rng = self.stage_rng(stream::COOPERATE, s.frame_index);
         let cooperation = &s.scenario.cooperation;
         let coop = (cooperation.payload / cooperation.throughput
             + cooperation.distance / SPEED_OF_LIGHT)
-            * self.noise(&mut s.rng);
+            * self.noise(&mut rng);
         s.latency.insert(Segment::XrCooperation, coop);
     }
 
     /// Stage 10 — Eq. 1 gating of the end-to-end total and the Monsoon-style
-    /// energy measurement over the per-segment durations.
+    /// energy measurement over the per-segment durations (integrated in the
+    /// closed form of [`PowerMonitor::measure_energy`], which reproduces the
+    /// sampled trace's energy distribution exactly).
     fn finalize(&self, s: FrameState<'_>, frame_index: u64) -> GroundTruthFrame {
         let scenario = s.scenario;
         let mut total_latency = Seconds::ZERO;
@@ -559,39 +672,23 @@ impl TestbedSimulator {
         let mut compute_energy = Joules::ZERO;
         for (segment, duration) in &s.latency {
             let included = Self::segment_included(scenario, *segment, s.uses_local, s.uses_edge);
-            let power = match segment {
-                Segment::FrameGeneration
-                | Segment::VolumetricDataGeneration
-                | Segment::FrameConversion
-                | Segment::FrameEncoding
-                | Segment::LocalInference
-                | Segment::FrameRendering => compute_power,
-                Segment::ExternalSensorInformation => self.radio_rx,
-                Segment::Transmission | Segment::XrCooperation | Segment::Handoff => self.radio_tx,
-                Segment::RemoteInference => self.radio_idle,
-            };
+            let power = self.segment_power(*segment, compute_power);
             let seg_energy = power * *duration;
             energy.insert(*segment, seg_energy);
             if included {
                 phases.push((power, *duration));
-                if matches!(
-                    segment,
-                    Segment::FrameGeneration
-                        | Segment::VolumetricDataGeneration
-                        | Segment::FrameConversion
-                        | Segment::FrameEncoding
-                        | Segment::LocalInference
-                        | Segment::FrameRendering
-                ) {
+                if Self::segment_is_compute(*segment) {
                     compute_energy += seg_energy;
                 }
             }
         }
-        let trace = self
-            .monitor
-            .record(&phases, self.base_power, self.seed ^ (frame_index << 17));
+        let trace_energy = self.monitor.measure_energy(
+            &phases,
+            self.base_power,
+            stage_stream_seed(self.seed, stream::MONITOR, frame_index),
+        );
         let thermal = compute_energy * self.thermal_fraction;
-        let total_energy = trace.energy() + thermal;
+        let total_energy = trace_energy + thermal;
 
         GroundTruthFrame {
             latency: s.latency,
@@ -606,10 +703,36 @@ impl TestbedSimulator {
     /// [`SessionState`] through the staged pipeline so device mobility (and
     /// therefore [`GroundTruthSession::handoff_rate`]) evolves across frames.
     ///
+    /// Dispatches to the configured [`SimulationEngine`] — by default the
+    /// batched structure-of-arrays engine, which is bit-identical to (and
+    /// considerably faster than) the scalar frame-by-frame reference.
+    ///
     /// # Errors
     ///
     /// Returns scenario-validation errors; `frames` must be at least 1.
     pub fn simulate_session(&self, scenario: &Scenario, frames: u64) -> Result<GroundTruthSession> {
+        match self.engine {
+            SimulationEngine::Scalar => self.simulate_session_scalar(scenario, frames),
+            SimulationEngine::Batched { width } => {
+                self.simulate_session_batched(scenario, frames, width)
+            }
+        }
+    }
+
+    /// The scalar reference implementation of
+    /// [`TestbedSimulator::simulate_session`]: one frame at a time through
+    /// the staged pipeline. The batched engine must reproduce this stream of
+    /// [`GroundTruthFrame`]s bit for bit (pinned by property tests and a CI
+    /// artifact diff).
+    ///
+    /// # Errors
+    ///
+    /// Returns scenario-validation errors; `frames` must be at least 1.
+    pub fn simulate_session_scalar(
+        &self,
+        scenario: &Scenario,
+        frames: u64,
+    ) -> Result<GroundTruthSession> {
         if frames == 0 {
             return Err(xr_types::Error::invalid_parameter(
                 "frames",
@@ -629,16 +752,16 @@ impl TestbedSimulator {
 /// the handoff tally.
 #[derive(Debug, Clone)]
 pub struct SessionState {
-    walker: Option<RandomWalker>,
-    handoffs: u64,
+    pub(crate) walker: Option<RandomWalker>,
+    pub(crate) handoffs: u64,
 }
 
 impl SessionState {
     /// Session state for `scenario` under `simulator`: a moving device gets
-    /// a random walker with its own RNG stream (decorrelated from the
-    /// per-frame measurement RNGs), starting from a uniformly random
-    /// position in its coverage zone — the distribution the analytic
-    /// `P(HO)` assumes.
+    /// a random walker with its own RNG stream (the session-scoped
+    /// [`stream::WALKER`] stream, decorrelated from every per-frame
+    /// measurement stream), starting from a uniformly random position in its
+    /// coverage zone — the distribution the analytic `P(HO)` assumes.
     #[must_use]
     pub fn new(simulator: &TestbedSimulator, scenario: &Scenario) -> Self {
         let walker = (scenario.mobility.speed.as_f64() > 0.0).then(|| {
@@ -647,7 +770,7 @@ impl SessionState {
                 Seconds::new(0.1),
                 CoverageZone::new(scenario.mobility.coverage_radius),
             );
-            let mut walker = mobility.walker(simulator.seed ^ 0xA076_1D64_78BD_642F);
+            let mut walker = mobility.walker(stage_stream_seed(simulator.seed, stream::WALKER, 0));
             walker.reset_uniform();
             walker
         });
@@ -681,13 +804,15 @@ impl SessionState {
     }
 }
 
-/// Per-frame working state of the staged pipeline: the frame's RNG stream,
-/// the derived operating-point quantities, and the accumulating per-segment
-/// latency map.
+/// Per-frame working state of the staged pipeline: the frame's position in
+/// the session (each stage derives its own RNG stream from it), the derived
+/// operating-point quantities, and the accumulating per-segment latency map.
 #[derive(Debug)]
 struct FrameState<'a> {
     scenario: &'a Scenario,
-    rng: StdRng,
+    /// Frame index within the session; combined with the session seed and a
+    /// stage id, it addresses every RNG stream of the frame.
+    frame_index: u64,
     bias: DeviceBias,
     /// True compute resource of the client at this operating point.
     c_true: f64,
@@ -712,9 +837,7 @@ impl<'a> FrameState<'a> {
         let bias = DeviceBias::for_device(&client.name);
         Self {
             scenario,
-            rng: StdRng::seed_from_u64(
-                simulator.seed ^ frame_index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            ),
+            frame_index,
             bias,
             c_true: simulator.laws.compute_resource(
                 client.cpu_clock,

@@ -259,6 +259,17 @@ impl RandomWalker {
         }
         crossings
     }
+
+    /// Advances the walk through a whole batch of consecutive observation
+    /// windows and returns the number of handoffs in each — exactly
+    /// [`RandomWalker::advance`] applied to every window in order, exposed
+    /// as one call so batched consumers (the testbed's structure-of-arrays
+    /// frame engine) can run the sequential mobility scan as a single
+    /// carry-preserving step per batch.
+    #[must_use]
+    pub fn advance_many(&mut self, windows: &[Seconds]) -> Vec<usize> {
+        windows.iter().map(|&window| self.advance(window)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -378,6 +389,38 @@ mod tests {
         assert!(crossings > 0, "fast walker never left a 5 m zone");
         // After a crossing the walker re-enters coverage.
         assert!(!walker.is_outside() || walker.advance(Seconds::new(0.1)) > 0);
+    }
+
+    #[test]
+    fn advance_many_equals_repeated_advance() {
+        let sprint = RandomWalkMobility::new(
+            MetersPerSecond::new(20.0),
+            Seconds::new(0.1),
+            CoverageZone::new(Meters::new(6.0)),
+        );
+        // Mixed window lengths, including sub-step windows that only
+        // accumulate carry; the batched call must reproduce the scalar
+        // crossing counts and leave the walker in the same state.
+        let windows: Vec<Seconds> = (0..120)
+            .map(|i| {
+                Seconds::new(match i % 3 {
+                    0 => 1.0 / 30.0,
+                    1 => 0.25,
+                    _ => 0.01,
+                })
+            })
+            .collect();
+        let mut scalar = sprint.walker(31);
+        let mut batched = sprint.walker(31);
+        let expected: Vec<usize> = windows.iter().map(|&w| scalar.advance(w)).collect();
+        let got = batched.advance_many(&windows);
+        assert_eq!(got, expected);
+        assert!(got.iter().sum::<usize>() > 0, "sprint never crossed");
+        assert_eq!(batched.radius(), scalar.radius());
+        assert_eq!(
+            batched.advance(Seconds::new(0.5)),
+            scalar.advance(Seconds::new(0.5))
+        );
     }
 
     #[test]
