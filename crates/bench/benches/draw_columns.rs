@@ -1,0 +1,174 @@
+//! The lane-oriented draw layer in isolation: wide-lane stream seeding and
+//! column transforms (`rand_distr::column`) versus the per-frame scalar
+//! path the pipelines used before (one `StdRng::seed_from_u64` + scalar
+//! sampler call per frame).
+//!
+//! Both paths produce bit-identical draws — asserted here before any
+//! timing — so the measured ratio is pure draw-layer overhead. Measured
+//! numbers are recorded in `BENCH_draw_columns.json` at the repository
+//! root.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_distr::{column, Distribution, Normal};
+use xr_types::lanes::LaneStreams;
+use xr_types::seed;
+
+/// Frames per measured pass — one campaign-sized stretch of a session.
+const FRAMES: usize = 4096;
+/// Lanes per bank — the engine's default batch width.
+const WIDTH: usize = 256;
+const STAGE_BASE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn frame_rng(frame: usize) -> StdRng {
+    StdRng::seed_from_u64(seed::mix(STAGE_BASE, frame as u64))
+}
+
+fn draw_columns(c: &mut Criterion) {
+    let normal = Normal::new(0.0, 0.04).expect("valid sigma");
+
+    // Bit-identity gate: the lane path must replay the per-frame streams
+    // word for word before its throughput means anything.
+    {
+        let mut lanes = LaneStreams::new();
+        lanes.reseed(STAGE_BASE, 0, FRAMES);
+        let mut raw_a = vec![0u64; FRAMES];
+        let mut raw_b = vec![0u64; FRAMES];
+        let mut normals = vec![0.0; FRAMES];
+        let mut uniforms = vec![0.0; FRAMES];
+        lanes.fill_next(&mut raw_a);
+        lanes.fill_next(&mut raw_b);
+        column::fill_normal(&normal, &raw_a, &raw_b, &mut normals);
+        lanes.fill_next(&mut raw_a);
+        column::fill_uniform_range(-0.05, 0.05, &raw_a, &mut uniforms);
+        for frame in 0..FRAMES {
+            let mut rng = frame_rng(frame);
+            assert_eq!(normals[frame], normal.sample(&mut rng), "normal diverged");
+            assert_eq!(
+                uniforms[frame],
+                rng.gen_range(-0.05..0.05),
+                "uniform diverged"
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("draw_columns");
+    group.sample_size(50);
+
+    // Stream seeding alone: one derived generator per frame, one raw word
+    // drawn from each.
+    group.bench_with_input(
+        BenchmarkId::new("seed", "per_frame"),
+        &FRAMES,
+        |b, &frames| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for frame in 0..frames {
+                    acc ^= frame_rng(frame).next_u64();
+                }
+                black_box(acc)
+            })
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("seed", "lanes"), &FRAMES, |b, &frames| {
+        let mut lanes = LaneStreams::new();
+        let mut raw = vec![0u64; WIDTH];
+        b.iter(|| {
+            let mut acc = 0u64;
+            for first in (0..frames).step_by(WIDTH) {
+                lanes.reseed(STAGE_BASE, first as u64, WIDTH);
+                lanes.fill_next(&mut raw);
+                acc ^= raw[WIDTH - 1];
+            }
+            black_box(acc)
+        })
+    });
+
+    // The generate-stage shape: two normal draws per frame stream (two
+    // words + Box–Muller each).
+    group.bench_with_input(
+        BenchmarkId::new("normal", "per_frame"),
+        &FRAMES,
+        |b, &frames| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for frame in 0..frames {
+                    let mut rng = frame_rng(frame);
+                    acc += normal.sample(&mut rng);
+                    acc += normal.sample(&mut rng);
+                }
+                black_box(acc)
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("normal", "lanes"),
+        &FRAMES,
+        |b, &frames| {
+            let mut lanes = LaneStreams::new();
+            let mut raw_a = vec![0u64; WIDTH];
+            let mut raw_b = vec![0u64; WIDTH];
+            let mut out = vec![0.0; WIDTH];
+            b.iter(|| {
+                let mut acc = 0.0;
+                for first in (0..frames).step_by(WIDTH) {
+                    lanes.reseed(STAGE_BASE, first as u64, WIDTH);
+                    for _ in 0..2 {
+                        lanes.fill_next(&mut raw_a);
+                        lanes.fill_next(&mut raw_b);
+                        column::fill_normal(&normal, &raw_a, &raw_b, &mut out);
+                        acc += out[WIDTH - 1];
+                    }
+                }
+                black_box(acc)
+            })
+        },
+    );
+
+    // The sense-stage shape: 18 uniform jitter draws per frame stream
+    // (updates_per_frame × sensors in the default scenario; one word +
+    // affine map each — the column path takes the AVX2 pass on hosts that
+    // support it).
+    group.bench_with_input(
+        BenchmarkId::new("uniform", "per_frame"),
+        &FRAMES,
+        |b, &frames| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for frame in 0..frames {
+                    let mut rng = frame_rng(frame);
+                    for _ in 0..18 {
+                        acc += rng.gen_range(-0.05..0.05);
+                    }
+                }
+                black_box(acc)
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("uniform", "lanes"),
+        &FRAMES,
+        |b, &frames| {
+            let mut lanes = LaneStreams::new();
+            let mut raw = vec![0u64; WIDTH];
+            let mut out = vec![0.0; WIDTH];
+            b.iter(|| {
+                let mut acc = 0.0;
+                for first in (0..frames).step_by(WIDTH) {
+                    lanes.reseed(STAGE_BASE, first as u64, WIDTH);
+                    for _ in 0..18 {
+                        lanes.fill_next(&mut raw);
+                        column::fill_uniform_range(-0.05, 0.05, &raw, &mut out);
+                        acc += out[WIDTH - 1];
+                    }
+                }
+                black_box(acc)
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, draw_columns);
+criterion_main!(benches);

@@ -45,9 +45,12 @@ fn frame_batch_throughput(c: &mut Criterion) {
     let testbed = TestbedSimulator::new(2024);
 
     // Bit-identity gate: a faster engine that drifts is not a speedup.
+    // CI smoke-runs this bench with XR_BENCH_SAMPLE_SIZE=2 precisely for
+    // this block — the lane-oriented draw layer must replay the scalar
+    // streams bit for bit on the CI host before any timing happens.
     for (label, scenario) in &scenarios() {
         let scalar = testbed.simulate_session_scalar(scenario, FRAMES).unwrap();
-        for width in [1, 7, 64, 512] {
+        for width in [1, 7, 64, 256, 512] {
             let batched = testbed
                 .simulate_session_batched(scenario, FRAMES, width)
                 .unwrap();

@@ -9,6 +9,11 @@
 //! CLI filtering — it exists so `cargo bench` works in an air-gapped
 //! build. Swap the root manifest's `criterion` entry for crates.io to get
 //! the real harness; no bench source changes are needed.
+//!
+//! One extension beyond the real API: the `XR_BENCH_SAMPLE_SIZE`
+//! environment variable overrides every benchmark's sample count, so CI
+//! can smoke-run a bench target (exercising its pre-timing correctness
+//! assertions) without paying for a full timing session.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -82,10 +87,23 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
+/// Sample-count override for CI smoke runs: `XR_BENCH_SAMPLE_SIZE=2 cargo
+/// bench` runs every benchmark with two timed batches, keeping the
+/// pre-timing setup and assertions (e.g. the frame-batch bench's
+/// bit-identity gate) while making the timed portion near-free. Ignored
+/// when unset or unparsable.
+fn sample_size_override() -> Option<usize> {
+    std::env::var("XR_BENCH_SAMPLE_SIZE")
+        .ok()?
+        .parse::<usize>()
+        .ok()
+        .map(|n| n.max(1))
+}
+
 fn run_one(full_id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
         samples: Vec::new(),
-        sample_size,
+        sample_size: sample_size_override().unwrap_or(sample_size),
     };
     f(&mut bencher);
     if bencher.samples.is_empty() {
@@ -200,6 +218,20 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sample_size_env_override_is_honored() {
+        std::env::set_var("XR_BENCH_SAMPLE_SIZE", "3");
+        let mut calls = 0u32;
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("short");
+        group.sample_size(50);
+        group.bench_function("counted", |b| b.iter(|| calls += 1));
+        group.finish();
+        std::env::remove_var("XR_BENCH_SAMPLE_SIZE");
+        // One warm-up call plus the overridden three timed batches.
+        assert_eq!(calls, 4, "override did not shorten the run");
+    }
 
     #[test]
     fn group_and_function_benches_run() {

@@ -33,10 +33,21 @@ pub trait FromRng: Sized {
     fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
 }
 
+/// The `u64 → [0, 1)` mapping behind `FromRng for f64`: the word's top 53
+/// bits scaled into the unit interval. Exposed so column transforms (the
+/// `rand_distr` shim's lane-oriented `fill_*` passes) can apply *literally
+/// the same expression* to pre-filled word columns and stay bit-identical
+/// with the scalar samplers.
+#[inline]
+#[must_use]
+pub fn unit_f64_from_word(word: u64) -> f64 {
+    // 53 random mantissa bits scaled into [0, 1).
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 impl FromRng for f64 {
     fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
-        // 53 random mantissa bits scaled into [0, 1).
-        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        unit_f64_from_word(rng.next_u64())
     }
 }
 

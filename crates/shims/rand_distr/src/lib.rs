@@ -99,6 +99,209 @@ impl Distribution<f64> for Normal {
     }
 }
 
+/// Column (lane-oriented) forms of the scalar samplers: each `fill_*` maps
+/// columns of raw `u64` generator words to the **exact** `f64` draws the
+/// matching scalar sampler would produce from those words, one element at a
+/// time, in bounds-check-free passes over contiguous slices.
+///
+/// The batched frame engine pre-fills raw word columns with
+/// `xr_types::lanes::LaneStreams` (lane `j` = frame `j`'s own stream) and
+/// pushes them through these transforms, so the per-frame loops never touch
+/// an RNG object. Bit-identity with the scalar samplers is load-bearing —
+/// the batched engine must match the scalar reference bit for bit — and is
+/// pinned by the tests below:
+///
+/// * the portable passes apply literally the same expression as the scalar
+///   samplers (`ln`/`cos`/`sqrt`/division from `std`, in the same order),
+///   just restructured over chunks so LLVM can keep the integer→float
+///   prologue vectorized and the bounds checks hoisted;
+/// * [`fill_uniform_range`](column::fill_uniform_range) additionally
+///   carries a runtime-detected AVX2
+///   path. Every operation in it (shift, u64→f64 conversion via the
+///   exponent-bias trick, multiply, add) is an exact IEEE-754 operation
+///   with a single rounding, identical to its scalar counterpart, so the
+///   SIMD path is bit-identical — not approximately equal — to the
+///   portable one (asserted by tests on AVX2 hosts).
+/// * [`fill_normal`](column::fill_normal) has **no** SIMD path: `ln` and
+///   `cos` come from the
+///   platform libm and no vector substitute guarantees the same rounding,
+///   so per the determinism contract the transcendental pass stays
+///   portable.
+pub mod column {
+    use super::{Exp, Normal};
+    use rand::unit_f64_from_word;
+
+    /// Writes `out[i] = ` the draw `normal.sample` would produce from the
+    /// raw words `(raw_a[i], raw_b[i])` — Box–Muller over the two unit
+    /// uniforms, bit-identical to [`Normal::sample`](super::Normal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices differ in length.
+    pub fn fill_normal(normal: &Normal, raw_a: &[u64], raw_b: &[u64], out: &mut [f64]) {
+        assert_eq!(raw_a.len(), out.len(), "raw_a column length mismatch");
+        assert_eq!(raw_b.len(), out.len(), "raw_b column length mismatch");
+        for ((out, &a), &b) in out.iter_mut().zip(raw_a).zip(raw_b) {
+            let u1 = unit_f64_from_word(a).max(f64::MIN_POSITIVE);
+            let u2 = unit_f64_from_word(b);
+            let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+            *out = normal.mean + normal.std_dev * z;
+        }
+    }
+
+    /// Writes `out[i] = ` the value `normal.sample(..).exp()` would produce
+    /// from the raw words `(raw_a[i], raw_b[i])` — the multiplicative
+    /// noise-factor draw of the frame pipelines, fused into one pass so a
+    /// noise column needs no separate `exp` sweep. Bit-identical to the
+    /// scalar sequence: the transform applies the very same operations in
+    /// the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices differ in length.
+    pub fn fill_lognormal(normal: &Normal, raw_a: &[u64], raw_b: &[u64], out: &mut [f64]) {
+        assert_eq!(raw_a.len(), out.len(), "raw_a column length mismatch");
+        assert_eq!(raw_b.len(), out.len(), "raw_b column length mismatch");
+        for ((out, &a), &b) in out.iter_mut().zip(raw_a).zip(raw_b) {
+            let u1 = unit_f64_from_word(a).max(f64::MIN_POSITIVE);
+            let u2 = unit_f64_from_word(b);
+            let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+            *out = (normal.mean + normal.std_dev * z).exp();
+        }
+    }
+
+    /// Writes `out[i] = ` the draw `rng.gen_range(lo..hi)` would produce
+    /// from the raw word `raw[i]` — `lo + u * (hi - lo)` over the unit
+    /// uniform, bit-identical to the `rand` shim's `f64` range sampler.
+    ///
+    /// Dispatches to an AVX2 pass on x86-64 hosts that support it (the
+    /// transform is exact in IEEE-754 arithmetic, so the SIMD path is
+    /// bit-identical); otherwise runs the portable chunked pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or the range is empty.
+    pub fn fill_uniform_range(lo: f64, hi: f64, raw: &[u64], out: &mut [f64]) {
+        assert_eq!(raw.len(), out.len(), "raw column length mismatch");
+        assert!(lo < hi, "cannot sample empty range");
+        let span = hi - lo;
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: `fill_uniform_range_avx2` requires AVX2, which the
+            // runtime detection above just confirmed on this host.
+            #[allow(unsafe_code)]
+            unsafe {
+                avx2::fill_uniform_range_avx2(lo, span, raw, out);
+            }
+            return;
+        }
+        fill_uniform_range_portable(lo, span, raw, out);
+    }
+
+    /// The portable pass behind [`fill_uniform_range`]; also the reference
+    /// the AVX2 path is pinned against.
+    pub(crate) fn fill_uniform_range_portable(lo: f64, span: f64, raw: &[u64], out: &mut [f64]) {
+        for (out, &word) in out.iter_mut().zip(raw) {
+            *out = lo + unit_f64_from_word(word) * span;
+        }
+    }
+
+    /// Writes `out[i] = ` the draw `exp.sample` would produce from the raw
+    /// word `raw[i]` — inversion over the unit uniform, bit-identical to
+    /// [`Exp::sample`](super::Exp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn fill_exp(exp: &Exp, raw: &[u64], out: &mut [f64]) {
+        assert_eq!(raw.len(), out.len(), "raw column length mismatch");
+        for (out, &word) in out.iter_mut().zip(raw) {
+            let u = unit_f64_from_word(word);
+            *out = -(1.0 - u).ln() / exp.lambda;
+        }
+    }
+
+    /// The AVX2 lane pass. Isolated in its own module so the `unsafe` SIMD
+    /// surface stays one screen long; the workspace otherwise denies
+    /// `unsafe_code`.
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)]
+    #[deny(unsafe_op_in_unsafe_fn)]
+    mod avx2 {
+        #[cfg(target_arch = "x86_64")]
+        use core::arch::x86_64::{
+            __m256d, __m256i, _mm256_add_pd, _mm256_and_si256, _mm256_castsi256_pd,
+            _mm256_loadu_si256, _mm256_mul_pd, _mm256_or_si256, _mm256_set1_epi64x, _mm256_set1_pd,
+            _mm256_srli_epi64, _mm256_storeu_pd, _mm256_sub_pd,
+        };
+
+        /// `2^52` with the double-precision exponent bits set: OR-ing a
+        /// 32-bit integer into the mantissa of this constant yields the
+        /// double `2^52 + n` exactly.
+        const EXP_LO: i64 = 0x4330_0000_0000_0000;
+        /// The same trick one exponent step up: OR-ing the high 32-bit half
+        /// into this constant's mantissa yields `2^84 + hi · 2^32` exactly
+        /// (one mantissa ulp at exponent 84 is `2^32`).
+        const EXP_HI: i64 = 0x4530_0000_0000_0000;
+        /// `2^84 + 2^52`, subtracted once to cancel both offsets. Exactly
+        /// representable: `2^52` is a multiple of the `2^32` ulp at `2^84`.
+        const EXP_BIAS: f64 = ((1u128 << 84) + (1u128 << 52)) as f64;
+
+        /// Converts four `u64` words (each `< 2^53` after the `>> 11`
+        /// shift) to the exact doubles `(word >> 11) as f64`, using the
+        /// split hi/lo exponent-bias trick. Every FP operation here is
+        /// exact (no rounding occurs): the halves are multiples of `2^32`
+        /// and `1` respectively and all intermediate sums stay below
+        /// `2^53`, so the result equals the scalar `as f64` conversion bit
+        /// for bit.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        fn mantissa_to_f64(words: __m256i) -> __m256d {
+            // Value-based AVX2 intrinsics are safe inside a target_feature
+            // fn; only the caller's feature check is a safety obligation.
+            let x = _mm256_srli_epi64::<11>(words);
+            let lo = _mm256_or_si256(
+                _mm256_and_si256(x, _mm256_set1_epi64x(0xFFFF_FFFF)),
+                _mm256_set1_epi64x(EXP_LO),
+            );
+            let hi = _mm256_or_si256(_mm256_srli_epi64::<32>(x), _mm256_set1_epi64x(EXP_HI));
+            _mm256_add_pd(
+                _mm256_sub_pd(_mm256_castsi256_pd(hi), _mm256_set1_pd(EXP_BIAS)),
+                _mm256_castsi256_pd(lo),
+            )
+        }
+
+        /// Four-wide `lo + unit(word) * span`, with the scalar pass
+        /// finishing any tail — the same single-rounding multiply and add
+        /// as the portable code, so results are bit-identical.
+        #[target_feature(enable = "avx2")]
+        pub(super) unsafe fn fill_uniform_range_avx2(
+            lo: f64,
+            span: f64,
+            raw: &[u64],
+            out: &mut [f64],
+        ) {
+            const UNIT: f64 = 1.0 / (1u64 << 53) as f64;
+            let lanes = _mm256_set1_pd(lo);
+            let scale = _mm256_set1_pd(UNIT);
+            let spans = _mm256_set1_pd(span);
+            let chunks = raw.len() / 4;
+            for c in 0..chunks {
+                // SAFETY: `c * 4 + 4 <= raw.len() == out.len()`, so both the
+                // unaligned 32-byte load and store stay in bounds.
+                unsafe {
+                    let words = _mm256_loadu_si256(raw.as_ptr().add(c * 4).cast::<__m256i>());
+                    let unit = _mm256_mul_pd(mantissa_to_f64(words), scale);
+                    let value = _mm256_add_pd(lanes, _mm256_mul_pd(unit, spans));
+                    _mm256_storeu_pd(out.as_mut_ptr().add(c * 4), value);
+                }
+            }
+            let tail = chunks * 4;
+            super::fill_uniform_range_portable(lo, span, &raw[tail..], &mut out[tail..]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::{Distribution, Exp, Normal};
@@ -120,6 +323,125 @@ mod tests {
         let n = 200_000;
         let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / f64::from(n);
         assert!((mean - 0.25).abs() < 5e-3, "mean {mean} far from 0.25");
+    }
+
+    fn raw_words(seed: u64, n: usize) -> Vec<u64> {
+        use rand::RngCore;
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.next_u64()).collect()
+    }
+
+    #[test]
+    fn fill_normal_matches_scalar_sampling_bit_for_bit() {
+        // A column transform over words (a_i, b_i) must equal sampling from
+        // an RNG that replays exactly those words.
+        struct Replay(Vec<u64>, usize);
+        impl rand::RngCore for Replay {
+            fn next_u64(&mut self) -> u64 {
+                let w = self.0[self.1];
+                self.1 += 1;
+                w
+            }
+        }
+        for (mean, std_dev) in [(0.0, 0.04), (3.0, 2.0), (-1.0, 0.0)] {
+            let normal = Normal::new(mean, std_dev).unwrap();
+            let a = raw_words(1, 257);
+            let b = raw_words(2, 257);
+            let mut out = vec![0.0; 257];
+            super::column::fill_normal(&normal, &a, &b, &mut out);
+            for i in 0..a.len() {
+                let mut replay = Replay(vec![a[i], b[i]], 0);
+                let expected = normal.sample(&mut replay);
+                assert!(
+                    out[i] == expected || (out[i].is_nan() && expected.is_nan()),
+                    "element {i}: column {} != scalar {expected}",
+                    out[i]
+                );
+            }
+        }
+        // Degenerate words (all zeros / all ones) go through the same
+        // MIN_POSITIVE clamp as the scalar sampler.
+        let normal = Normal::new(0.0, 1.0).unwrap();
+        let mut out = [0.0; 2];
+        super::column::fill_normal(&normal, &[0, u64::MAX], &[0, u64::MAX], &mut out);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fill_lognormal_matches_scalar_sample_then_exp_bit_for_bit() {
+        let normal = Normal::new(0.0, 0.04).unwrap();
+        let a = raw_words(21, 129);
+        let b = raw_words(22, 129);
+        let mut fused = vec![0.0; 129];
+        let mut staged = vec![0.0; 129];
+        super::column::fill_lognormal(&normal, &a, &b, &mut fused);
+        super::column::fill_normal(&normal, &a, &b, &mut staged);
+        for (i, value) in staged.iter_mut().enumerate() {
+            *value = value.exp();
+            assert_eq!(fused[i], *value, "element {i} diverged");
+        }
+    }
+
+    #[test]
+    fn fill_uniform_range_matches_gen_range_bit_for_bit() {
+        use rand::Rng;
+        for (lo, hi) in [(-0.05, 0.05), (0.0, 0.12), (-3.0, 5.0)] {
+            // 1027 elements: exercises the AVX2 main loop and a non-multiple
+            // -of-4 tail on hosts that take the SIMD path.
+            let words = raw_words(3, 1027);
+            let mut out = vec![0.0; 1027];
+            super::column::fill_uniform_range(lo, hi, &words, &mut out);
+            let mut rng = StdRng::seed_from_u64(3);
+            for (i, &value) in out.iter().enumerate() {
+                let expected: f64 = rng.gen_range(lo..hi);
+                assert_eq!(value, expected, "element {i} diverged for {lo}..{hi}");
+                assert!((lo..hi).contains(&value));
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_and_portable_uniform_passes_are_bit_identical() {
+        // On hosts with AVX2 the public entry point takes the SIMD path;
+        // pin it against the portable reference on awkward lengths (0, 1,
+        // tail-only, multiple-of-4, large) and extreme words.
+        for n in [0usize, 1, 3, 4, 5, 64, 1021] {
+            let mut words = raw_words(7, n);
+            if n > 2 {
+                words[0] = 0;
+                words[1] = u64::MAX;
+            }
+            let mut simd = vec![0.0; n];
+            let mut portable = vec![0.0; n];
+            super::column::fill_uniform_range(-0.05, 0.05, &words, &mut simd);
+            super::column::fill_uniform_range_portable(
+                -0.05,
+                0.05 - (-0.05),
+                &words,
+                &mut portable,
+            );
+            assert_eq!(simd, portable, "length {n} diverged");
+        }
+    }
+
+    #[test]
+    fn fill_exp_matches_scalar_sampling_bit_for_bit() {
+        let exp = Exp::new(4.0).unwrap();
+        let words = raw_words(11, 513);
+        let mut out = vec![0.0; 513];
+        super::column::fill_exp(&exp, &words, &mut out);
+        let mut rng = StdRng::seed_from_u64(11);
+        for (i, &value) in out.iter().enumerate() {
+            assert_eq!(value, exp.sample(&mut rng), "element {i} diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "raw column length mismatch")]
+    fn column_length_mismatch_is_rejected() {
+        let exp = Exp::new(1.0).unwrap();
+        let mut out = [0.0; 2];
+        super::column::fill_exp(&exp, &[1, 2, 3], &mut out);
     }
 
     #[test]

@@ -19,36 +19,53 @@
 //!    in-order scan per batch ([`xr_wireless::RandomWalker::advance_many`]),
 //!    with its fractional-step carry preserved across batch boundaries.
 //!
-//! The payoff is architectural, not just micro-optimisation: everything
-//! that is constant across a session (`BatchConsts` — catalog lookups,
-//! true-law evaluations, link budgets, per-segment power levels and Eq. 1
-//! inclusion flags) is computed once instead of once per frame, the energy
-//! integral uses the allocation-free
-//! [`crate::power::PowerMonitor::measure_energy`] form, and each per-frame
-//! loop body is a handful of multiplications on a
-//! contiguous column — the seam a future SIMD pass vectorizes along.
+//! ## The lane-oriented draw layer
+//!
+//! The stages do not draw from per-frame RNG objects. Each stochastic stage
+//! seeds one [`xr_types::lanes::LaneStreams`] bank per batch — lane `j`
+//! replays frame `first_index + j`'s own stage stream — and pre-fills its
+//! draw columns *by draw index*: one `fill_next` per raw word, then one
+//! `rand_distr::column` transform per sampled column (Box–Muller normals,
+//! uniform jitter, exponential sojourns), then a multiply-accumulate pass
+//! against the hoisted per-session `BatchConsts` base latencies. Seeding and raw word
+//! generation become contiguous SplitMix64/xoshiro passes LLVM can
+//! autovectorize, the uniform transform takes a runtime-detected AVX2 path,
+//! and the per-frame loops reduce to straight-line float arithmetic. Because
+//! every frame's words come only from its own lane, the draw scheme is
+//! **lane-count invariant by construction** — the same invariant per-stage
+//! streams pinned for batching, pushed down to the raw `u64` level.
+//!
+//! All column storage (`FrameBatch`, `DrawColumns`, the walker's
+//! crossing counts) is allocated once per session and reused across
+//! batches, and the emitted [`GroundTruthFrame`]s hold their per-segment
+//! measurements in fixed slot arrays — the steady-state frame loop
+//! performs **no** per-frame heap allocation at all.
 //!
 //! Bit-identity with the scalar reference
 //! ([`TestbedSimulator::simulate_session_scalar`]) is pinned by unit tests
 //! here, a cross-crate property test over random scenarios and batch
-//! widths, and a CI step that runs a whole campaign through both engines
-//! and diffs the CSVs.
+//! widths, a draw-layer property test (`tests/draw_columns.rs`) pinning
+//! wide-lane fills against per-frame `stage_rng` draws, and a CI step that
+//! runs a whole campaign through both engines and diffs the CSVs.
 
 use crate::laws::DeviceBias;
 use crate::simulator::{
     stream, GroundTruthFrame, GroundTruthSession, SessionState, TestbedSimulator,
 };
-use rand::Rng;
-use rand_distr::{Distribution, Exp, Normal};
-use std::collections::BTreeMap;
+use rand_distr::{column, Distribution, Exp, Normal};
 use xr_core::Scenario;
+use xr_types::lanes::LaneStreams;
 use xr_types::{Joules, Result, Seconds, Segment, Watts, SPEED_OF_LIGHT};
 use xr_wireless::{HandoffKind, WirelessLink};
 
 /// Default number of frames simulated per batch. Sessions shorter than the
 /// width still run batched (one partial batch); longer sessions amortise
-/// the per-batch column setup over this many frames.
-pub const DEFAULT_BATCH_WIDTH: usize = 64;
+/// the per-batch column setup over this many frames. 256 keeps the whole
+/// working set (batch columns plus draw columns, ~50 KiB) inside L2 while
+/// amortising per-batch reseeds further than the original width of 64;
+/// results are bit-identical at every width, so this is purely a
+/// throughput default.
+pub const DEFAULT_BATCH_WIDTH: usize = 256;
 
 /// Which implementation [`TestbedSimulator::simulate_session`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -261,6 +278,8 @@ impl BatchConsts {
 
     /// One multiplicative noise factor, drawing from `rng` exactly like the
     /// scalar pipeline's `TestbedSimulator::noise` (no draw when noiseless).
+    /// Only the sparse handoff path still draws frame-at-a-time; the dense
+    /// stages consume pre-filled [`DrawColumns`] instead.
     fn noise(&self, rng: &mut rand::rngs::StdRng) -> f64 {
         match &self.noise {
             Some(normal) => normal.sample(rng).exp(),
@@ -280,6 +299,90 @@ impl BatchConsts {
     }
 }
 
+/// The lane-oriented draw layer of one session: a wide xoshiro bank (one
+/// lane per frame of the current batch) plus the raw-word and transformed
+/// draw columns the stages pre-fill and consume by index. Allocated once
+/// per session; `reseed` only rewrites lane state and column lengths.
+struct DrawColumns {
+    lanes: LaneStreams,
+    /// Raw word columns (draw #d of every frame): the first and second
+    /// Box–Muller words, or a single uniform word.
+    raw_a: Vec<u64>,
+    raw_b: Vec<u64>,
+    /// Transformed draw columns. `fac_a` holds single-word transforms
+    /// (uniform jitter, exponential sojourns) and the first noise factor;
+    /// `fac_b` holds a second concurrent noise factor where a stage needs
+    /// two live columns at once (the edge loop).
+    fac_a: Vec<f64>,
+    fac_b: Vec<f64>,
+    /// Per-frame accumulator for the sensor stage's update loop.
+    acc: Vec<Seconds>,
+    /// Reused crossing counts of the handoff stage's walker scan.
+    crossings: Vec<usize>,
+}
+
+impl DrawColumns {
+    fn new() -> Self {
+        Self {
+            lanes: LaneStreams::new(),
+            raw_a: Vec::new(),
+            raw_b: Vec::new(),
+            fac_a: Vec::new(),
+            fac_b: Vec::new(),
+            acc: Vec::new(),
+            crossings: Vec::new(),
+        }
+    }
+
+    /// Points the lane bank at `stage`'s streams for the frames of `b` and
+    /// sizes the draw columns to the batch. The columns are pure scratch —
+    /// every `fill_*` overwrites them end to end before anything reads
+    /// them — so their contents are only touched when the batch shape
+    /// changes (once per session plus the tail batch).
+    fn reseed(&mut self, k: &BatchConsts, stage: u64, b: &FrameBatch) {
+        self.lanes
+            .reseed(k.stage_seed_base[stage as usize], b.first_index, b.n);
+        if self.raw_a.len() != b.n {
+            self.raw_a.resize(b.n, 0);
+            self.raw_b.resize(b.n, 0);
+            self.fac_a.resize(b.n, 0.0);
+            self.fac_b.resize(b.n, 0.0);
+        }
+    }
+
+    /// Fills `fac_a` with the next multiplicative noise factor column —
+    /// `exp(N(0, σ))`, two raw words per frame, bit-identical to the scalar
+    /// `TestbedSimulator::noise` (the fused lognormal transform applies the
+    /// same operations in the same order).
+    fn noise_a(&mut self, normal: &Normal) {
+        self.lanes.fill_next(&mut self.raw_a);
+        self.lanes.fill_next(&mut self.raw_b);
+        column::fill_lognormal(normal, &self.raw_a, &self.raw_b, &mut self.fac_a);
+    }
+
+    /// [`DrawColumns::noise_a`] into `fac_b`, for stages that consume two
+    /// factor columns in one pass.
+    fn noise_b(&mut self, normal: &Normal) {
+        self.lanes.fill_next(&mut self.raw_a);
+        self.lanes.fill_next(&mut self.raw_b);
+        column::fill_lognormal(normal, &self.raw_a, &self.raw_b, &mut self.fac_b);
+    }
+
+    /// Fills `fac_a` with the next `gen_range(lo..hi)` column — one raw
+    /// word per frame.
+    fn uniform_a(&mut self, lo: f64, hi: f64) {
+        self.lanes.fill_next(&mut self.raw_a);
+        column::fill_uniform_range(lo, hi, &self.raw_a, &mut self.fac_a);
+    }
+
+    /// Fills `fac_a` with the next exponential-sojourn column — one raw
+    /// word per frame.
+    fn exp_a(&mut self, flow: &Exp) {
+        self.lanes.fill_next(&mut self.raw_a);
+        column::fill_exp(flow, &self.raw_a, &mut self.fac_a);
+    }
+}
+
 /// One batch of frames in structure-of-arrays layout: a column per pipeline
 /// output plus the scratch buffers the stages reuse across batches. Columns
 /// are indexed by position within the batch; the absolute frame index is
@@ -295,6 +398,10 @@ struct FrameBatch {
     windows: Vec<Seconds>,
     /// Scratch: the finalizer's per-frame power phases.
     phases: Vec<(Watts, Seconds)>,
+    /// Scratch: the finalizer's Eq. 1 latency totals, one per frame.
+    totals: Vec<Seconds>,
+    /// Scratch: the finalizer's thermal-share compute energy, one per frame.
+    compute: Vec<Joules>,
 }
 
 /// Column positions in `Segment::ALL` order, kept as named constants so the
@@ -321,22 +428,35 @@ impl FrameBatch {
             handoff_occurred: Vec::new(),
             windows: Vec::new(),
             phases: Vec::new(),
+            totals: Vec::new(),
+            compute: Vec::new(),
         }
     }
 
     /// Rewinds the batch onto `n` frames starting at absolute frame index
-    /// `first_index`, zeroing every column.
+    /// `first_index`.
+    ///
+    /// Only the columns a stage *reads before writing* are re-zeroed each
+    /// batch: the `max`-accumulators (`EXTERNAL`, `REMOTE_INFERENCE`,
+    /// `TRANSMISSION`), the `+=`-accumulator (`buffering`), and the
+    /// sparsely written handoff outputs. Every other column is either
+    /// fully overwritten by its stage on every batch or its stage is gated
+    /// off for the whole session (gating lives in the per-session
+    /// [`BatchConsts`]), in which case the column keeps the zeros it was
+    /// created with — so skipping their memsets cannot leak a stale value.
     fn reset(&mut self, first_index: u64, n: usize) {
         self.first_index = first_index;
         self.n = n;
         for column in &mut self.latency {
-            column.clear();
             column.resize(n, Seconds::ZERO);
         }
-        self.buffering.clear();
+        for slot in [EXTERNAL, REMOTE_INFERENCE, TRANSMISSION, HANDOFF] {
+            self.latency[slot].fill(Seconds::ZERO);
+        }
         self.buffering.resize(n, Seconds::ZERO);
-        self.handoff_occurred.clear();
+        self.buffering.fill(Seconds::ZERO);
         self.handoff_occurred.resize(n, false);
+        self.handoff_occurred.fill(false);
     }
 
     fn frame_index(&self, i: usize) -> u64 {
@@ -370,112 +490,177 @@ impl TestbedSimulator {
         let consts = BatchConsts::new(self, scenario);
         let mut session = SessionState::new(self, scenario);
         let mut batch = FrameBatch::new();
+        let mut draws = DrawColumns::new();
         let mut out = Vec::with_capacity(frames as usize);
         let mut first = 1u64;
         while first <= frames {
             let n = width.min(frames - first + 1) as usize;
             batch.reset(first, n);
-            self.batch_generate(&consts, &mut batch);
-            self.batch_sense(&consts, &mut batch);
-            self.batch_buffer(&consts, &mut batch);
-            self.batch_encode(&consts, &mut batch);
-            self.batch_local_inference(&consts, &mut batch);
-            self.batch_uplink_and_edge(&consts, &mut batch);
-            self.batch_handoff(&consts, &mut batch, &mut session);
-            self.batch_render(&consts, &mut batch);
-            self.batch_cooperate(&consts, &mut batch);
+            self.batch_generate(&consts, &mut batch, &mut draws);
+            self.batch_sense(&consts, &mut batch, &mut draws);
+            self.batch_buffer(&consts, &mut batch, &mut draws);
+            self.batch_encode(&consts, &mut batch, &mut draws);
+            self.batch_local_inference(&consts, &mut batch, &mut draws);
+            self.batch_uplink_and_edge(&consts, &mut batch, &mut draws);
+            self.batch_handoff(&consts, &mut batch, &mut draws, &mut session);
+            self.batch_render(&consts, &mut batch, &mut draws);
+            self.batch_cooperate(&consts, &mut batch, &mut draws);
             self.batch_finalize(&consts, &mut batch, &mut out);
             first += n as u64;
         }
         Ok(GroundTruthSession { frames: out })
     }
 
-    /// Stage 1 column loop — frame/volumetric generation noise.
-    fn batch_generate(&self, k: &BatchConsts, b: &mut FrameBatch) {
-        for i in 0..b.n {
-            let mut rng = k.rng(stream::GENERATE, b.frame_index(i));
-            b.latency[GENERATION][i] = k.generation_base * k.noise(&mut rng);
-            b.latency[VOLUMETRIC][i] = k.volumetric_base * k.noise(&mut rng);
+    /// Stage 1 column loop — frame/volumetric generation noise. Per frame
+    /// the words are consumed in scalar order (generation's pair first,
+    /// volumetric's second); noiseless sessions draw nothing, and `base *
+    /// 1.0 == base` bit for bit, so the constant fill matches the scalar
+    /// multiply.
+    fn batch_generate(&self, k: &BatchConsts, b: &mut FrameBatch, d: &mut DrawColumns) {
+        match &k.noise {
+            Some(normal) => {
+                d.reseed(k, stream::GENERATE, b);
+                d.noise_a(normal);
+                d.noise_b(normal);
+                for (latency, &factor) in b.latency[GENERATION].iter_mut().zip(&d.fac_a) {
+                    *latency = k.generation_base * factor;
+                }
+                for (latency, &factor) in b.latency[VOLUMETRIC].iter_mut().zip(&d.fac_b) {
+                    *latency = k.volumetric_base * factor;
+                }
+            }
+            None => {
+                b.latency[GENERATION].fill(k.generation_base);
+                b.latency[VOLUMETRIC].fill(k.volumetric_base);
+            }
         }
     }
 
     /// Stage 2 column loop — per-update sensor jitter, slowest sensor wins.
-    fn batch_sense(&self, k: &BatchConsts, b: &mut FrameBatch) {
-        for i in 0..b.n {
-            let mut rng = k.rng(stream::SENSE, b.frame_index(i));
-            let mut ext = Seconds::ZERO;
-            for &(period, propagation) in &k.sensors {
-                let mut sensor_total = Seconds::ZERO;
-                for _ in 0..k.updates_per_frame {
-                    let jitter = 1.0 + rng.gen_range(-0.05..0.05);
-                    sensor_total += period * jitter + propagation;
+    /// The `updates_per_frame × sensors` accumulation runs over pre-filled
+    /// jitter columns (one per update), in the scalar's sensor-major draw
+    /// and summation order.
+    fn batch_sense(&self, k: &BatchConsts, b: &mut FrameBatch, d: &mut DrawColumns) {
+        if k.sensors.is_empty() {
+            return; // Like the scalar max over no sensors: EXTERNAL stays 0.
+        }
+        d.reseed(k, stream::SENSE, b);
+        for &(period, propagation) in &k.sensors {
+            d.acc.clear();
+            d.acc.resize(b.n, Seconds::ZERO);
+            for _ in 0..k.updates_per_frame {
+                d.uniform_a(-0.05, 0.05);
+                for (acc, &jitter) in d.acc.iter_mut().zip(&d.fac_a) {
+                    *acc += period * (1.0 + jitter) + propagation;
                 }
-                ext = ext.max(sensor_total);
             }
-            b.latency[EXTERNAL][i] = ext;
+            for (ext, &acc) in b.latency[EXTERNAL].iter_mut().zip(&d.acc) {
+                *ext = ext.max(acc);
+            }
         }
     }
 
-    /// Stage 3 column loop — M/M/1 sojourn sampling per stable flow.
-    fn batch_buffer(&self, k: &BatchConsts, b: &mut FrameBatch) {
-        for i in 0..b.n {
-            let mut rng = k.rng(stream::BUFFER, b.frame_index(i));
-            let mut buffering = Seconds::ZERO;
-            for flow in &k.flows {
-                buffering += Seconds::new(flow.sample(&mut rng));
+    /// Stage 3 column loop — M/M/1 sojourn sampling per stable flow, one
+    /// exponential column per flow in the scalar's flow order.
+    fn batch_buffer(&self, k: &BatchConsts, b: &mut FrameBatch, d: &mut DrawColumns) {
+        if k.flows.is_empty() {
+            return;
+        }
+        d.reseed(k, stream::BUFFER, b);
+        for flow in &k.flows {
+            d.exp_a(flow);
+            for (buffering, &sojourn) in b.buffering.iter_mut().zip(&d.fac_a) {
+                *buffering += Seconds::new(sojourn);
             }
-            b.buffering[i] = buffering;
         }
     }
 
     /// Stage 4 column loop — conversion (local path) and encoding (edge
     /// path) noise; gated paths draw nothing, like the scalar stage.
-    fn batch_encode(&self, k: &BatchConsts, b: &mut FrameBatch) {
-        for i in 0..b.n {
-            let mut rng = k.rng(stream::ENCODE, b.frame_index(i));
+    fn batch_encode(&self, k: &BatchConsts, b: &mut FrameBatch, d: &mut DrawColumns) {
+        let Some(normal) = &k.noise else {
             if let Some(base) = k.conversion_base {
-                b.latency[CONVERSION][i] = base * k.noise(&mut rng);
+                b.latency[CONVERSION].fill(base);
             }
             if let Some(base) = k.encoding_base {
-                b.latency[ENCODING][i] = base * k.noise(&mut rng);
+                b.latency[ENCODING].fill(base);
+            }
+            return;
+        };
+        if k.conversion_base.is_none() && k.encoding_base.is_none() {
+            return;
+        }
+        d.reseed(k, stream::ENCODE, b);
+        if let Some(base) = k.conversion_base {
+            d.noise_a(normal);
+            for (latency, &factor) in b.latency[CONVERSION].iter_mut().zip(&d.fac_a) {
+                *latency = base * factor;
+            }
+        }
+        if let Some(base) = k.encoding_base {
+            d.noise_a(normal);
+            for (latency, &factor) in b.latency[ENCODING].iter_mut().zip(&d.fac_a) {
+                *latency = base * factor;
             }
         }
     }
 
     /// Stage 5 column loop — the on-device CNN share.
-    fn batch_local_inference(&self, k: &BatchConsts, b: &mut FrameBatch) {
+    fn batch_local_inference(&self, k: &BatchConsts, b: &mut FrameBatch, d: &mut DrawColumns) {
         let Some(base) = k.local_base else { return };
-        for i in 0..b.n {
-            let mut rng = k.rng(stream::LOCAL_INFERENCE, b.frame_index(i));
-            b.latency[LOCAL_INFERENCE][i] = base * k.noise(&mut rng);
+        match &k.noise {
+            Some(normal) => {
+                d.reseed(k, stream::LOCAL_INFERENCE, b);
+                d.noise_a(normal);
+                for (latency, &factor) in b.latency[LOCAL_INFERENCE].iter_mut().zip(&d.fac_a) {
+                    *latency = base * factor;
+                }
+            }
+            None => b.latency[LOCAL_INFERENCE].fill(base),
         }
     }
 
     /// Stage 6 column loop — weighted-slowest edge compute and slowest
-    /// uplink, one noise + jitter pair per server per frame.
-    fn batch_uplink_and_edge(&self, k: &BatchConsts, b: &mut FrameBatch) {
+    /// uplink. Per edge server: one noise-factor column (two words per
+    /// frame, when noisy) then one wireless-jitter column, matching the
+    /// scalar's per-frame word order.
+    fn batch_uplink_and_edge(&self, k: &BatchConsts, b: &mut FrameBatch, d: &mut DrawColumns) {
         if k.edges.is_empty() {
             return;
         }
-        for i in 0..b.n {
-            let mut rng = k.rng(stream::UPLINK_EDGE, b.frame_index(i));
-            let mut remote = Seconds::ZERO;
-            let mut transmission = Seconds::ZERO;
-            for &(infer_weighted, tx_base) in &k.edges {
-                remote = remote.max(infer_weighted * k.noise(&mut rng));
-                let wireless_jitter = 1.0 + rng.gen_range(0.0..0.12);
-                transmission = transmission.max(tx_base * wireless_jitter);
+        d.reseed(k, stream::UPLINK_EDGE, b);
+        for &(infer_weighted, tx_base) in &k.edges {
+            if let Some(normal) = &k.noise {
+                d.noise_b(normal);
+                for (remote, &factor) in b.latency[REMOTE_INFERENCE].iter_mut().zip(&d.fac_b) {
+                    *remote = remote.max(infer_weighted * factor);
+                }
+            } else {
+                // `infer_weighted * 1.0 == infer_weighted` bit for bit.
+                for remote in &mut b.latency[REMOTE_INFERENCE] {
+                    *remote = remote.max(infer_weighted);
+                }
             }
-            b.latency[REMOTE_INFERENCE][i] = remote;
-            b.latency[TRANSMISSION][i] = transmission;
+            d.uniform_a(0.0, 0.12);
+            for (tx, &jitter) in b.latency[TRANSMISSION].iter_mut().zip(&d.fac_a) {
+                *tx = tx.max(tx_base * (1.0 + jitter));
+            }
         }
     }
 
     /// Stage 7 — the sequential stage: advance the session walker through
-    /// the whole batch as one in-order scan (`advance_many` preserves the
-    /// fractional-step carry across batches), then price each frame's
-    /// crossings from its own handoff stream.
-    fn batch_handoff(&self, k: &BatchConsts, b: &mut FrameBatch, session: &mut SessionState) {
+    /// the whole batch as one in-order scan (`advance_many_into` preserves
+    /// the fractional-step carry across batches and reuses the crossing
+    /// buffer), then price each frame's crossings from its own handoff
+    /// stream. Crossings are sparse, so this stage keeps the frame-at-a-time
+    /// draw path.
+    fn batch_handoff(
+        &self,
+        k: &BatchConsts,
+        b: &mut FrameBatch,
+        d: &mut DrawColumns,
+        session: &mut SessionState,
+    ) {
         if !k.mobile {
             return;
         }
@@ -490,8 +675,8 @@ impl TestbedSimulator {
             .expect("a mobile batched session always carries a walker");
         b.windows.clear();
         b.windows.resize(b.n, k.window);
-        let crossings = walker.advance_many(&b.windows);
-        for (i, &count) in crossings.iter().enumerate() {
+        walker.advance_many_into(&b.windows, &mut d.crossings);
+        for (i, &count) in d.crossings.iter().enumerate() {
             if count == 0 {
                 continue;
             }
@@ -504,49 +689,86 @@ impl TestbedSimulator {
 
     /// Stage 8 column loop — rendering noise plus the frame's buffered
     /// input and the (constant) result delivery.
-    fn batch_render(&self, k: &BatchConsts, b: &mut FrameBatch) {
-        for i in 0..b.n {
-            let mut rng = k.rng(stream::RENDER, b.frame_index(i));
-            b.latency[RENDERING][i] =
-                k.render_base * k.noise(&mut rng) + b.buffering[i] + k.result_delivery;
+    fn batch_render(&self, k: &BatchConsts, b: &mut FrameBatch, d: &mut DrawColumns) {
+        match &k.noise {
+            Some(normal) => {
+                d.reseed(k, stream::RENDER, b);
+                d.noise_a(normal);
+                for ((latency, &factor), &buffering) in b.latency[RENDERING]
+                    .iter_mut()
+                    .zip(&d.fac_a)
+                    .zip(&b.buffering)
+                {
+                    *latency = k.render_base * factor + buffering + k.result_delivery;
+                }
+            }
+            None => {
+                for (latency, &buffering) in b.latency[RENDERING].iter_mut().zip(&b.buffering) {
+                    *latency = k.render_base + buffering + k.result_delivery;
+                }
+            }
         }
     }
 
     /// Stage 9 column loop — cooperation-exchange noise.
-    fn batch_cooperate(&self, k: &BatchConsts, b: &mut FrameBatch) {
-        for i in 0..b.n {
-            let mut rng = k.rng(stream::COOPERATE, b.frame_index(i));
-            b.latency[COOPERATION][i] = k.cooperation_base * k.noise(&mut rng);
+    fn batch_cooperate(&self, k: &BatchConsts, b: &mut FrameBatch, d: &mut DrawColumns) {
+        match &k.noise {
+            Some(normal) => {
+                d.reseed(k, stream::COOPERATE, b);
+                d.noise_a(normal);
+                for (latency, &factor) in b.latency[COOPERATION].iter_mut().zip(&d.fac_a) {
+                    *latency = k.cooperation_base * factor;
+                }
+            }
+            None => b.latency[COOPERATION].fill(k.cooperation_base),
         }
     }
 
     /// Stage 10 — Eq. 1 gating and the Monsoon-style energy measurement,
-    /// one output frame per column entry. Iterates segments in
-    /// `Segment::ALL` order — the same order the scalar finalizer's
+    /// one output frame per column entry. The per-segment maps are clones
+    /// of the session's zeroed templates with values rewritten in key
+    /// order — `Segment::ALL` order, the same order the scalar finalizer's
     /// `BTreeMap` yields — so every floating-point sum accumulates
-    /// identically.
+    /// identically and the emitted maps compare equal.
     fn batch_finalize(&self, k: &BatchConsts, b: &mut FrameBatch, out: &mut Vec<GroundTruthFrame>) {
-        for i in 0..b.n {
-            let mut total_latency = Seconds::ZERO;
-            for (slot, &included) in k.segment_included.iter().enumerate() {
-                if included {
-                    total_latency += b.latency[slot][i];
+        // Column prologue: the Eq. 1 latency total and the thermal-share
+        // compute energy are plain slot-ascending accumulations, so they
+        // run as one contiguous add pass per included slot — per frame the
+        // summation order is exactly the scalar finalizer's BTreeMap
+        // (ascending `Segment::ALL`) order.
+        b.totals.clear();
+        b.totals.resize(b.n, Seconds::ZERO);
+        b.compute.clear();
+        b.compute.resize(b.n, Joules::ZERO);
+        for (slot, &included) in k.segment_included.iter().enumerate() {
+            if !included {
+                continue;
+            }
+            for (total, &value) in b.totals.iter_mut().zip(&b.latency[slot]) {
+                *total += value;
+            }
+            if k.segment_is_compute[slot] {
+                let power = k.segment_power[slot];
+                for (compute, &duration) in b.compute.iter_mut().zip(&b.latency[slot]) {
+                    *compute += power * duration;
                 }
+            }
+        }
+
+        for i in 0..b.n {
+            let mut latency = [Seconds::ZERO; Segment::ALL.len()];
+            for (slot, column) in b.latency.iter().enumerate() {
+                latency[slot] = column[i];
             }
 
             b.phases.clear();
-            let mut compute_energy = Joules::ZERO;
-            let mut energies = [Joules::ZERO; Segment::ALL.len()];
-            for (slot, energy) in energies.iter_mut().enumerate() {
-                let duration = b.latency[slot][i];
+            let mut energy = [Joules::ZERO; Segment::ALL.len()];
+            for (slot, value) in energy.iter_mut().enumerate() {
+                let duration = latency[slot];
                 let power = k.segment_power[slot];
-                let seg_energy = power * duration;
-                *energy = seg_energy;
+                *value = power * duration;
                 if k.segment_included[slot] {
                     b.phases.push((power, duration));
-                    if k.segment_is_compute[slot] {
-                        compute_energy += seg_energy;
-                    }
                 }
             }
             let trace_energy = self.monitor.measure_energy(
@@ -557,22 +779,10 @@ impl TestbedSimulator {
                     b.frame_index(i),
                 ),
             );
-            let thermal = compute_energy * self.thermal_fraction;
-            // `Segment::ALL` is sorted, so these collect through the
-            // BTreeMap bulk-building path instead of repeated inserts.
-            let latency: BTreeMap<Segment, Seconds> = Segment::ALL
-                .iter()
-                .enumerate()
-                .map(|(slot, &segment)| (segment, b.latency[slot][i]))
-                .collect();
-            let energy: BTreeMap<Segment, Joules> = Segment::ALL
-                .iter()
-                .zip(energies)
-                .map(|(&segment, value)| (segment, value))
-                .collect();
+            let thermal = b.compute[i] * self.thermal_fraction;
             out.push(GroundTruthFrame {
                 latency,
-                total_latency,
+                total_latency: b.totals[i],
                 energy,
                 total_energy: trace_energy + thermal,
                 handoff_occurred: b.handoff_occurred[i],
@@ -683,6 +893,27 @@ mod tests {
         let s = scenario(600.0, 1.5, ExecutionTarget::Remote);
         let scalar = testbed.simulate_session_scalar(&s, 10).unwrap();
         let batched = testbed.simulate_session_batched(&s, 10, 4).unwrap();
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn noiseless_mobile_and_split_batches_still_match() {
+        // The noiseless paths skip whole column fills (no seeding at all);
+        // make sure every gated combination still matches the scalar
+        // reference, including the handoff stage's 1.0 factor.
+        let testbed = TestbedSimulator::new(13).with_noise(0.0);
+        let mobile = mobile_scenario(25.0, 8.0);
+        let scalar = testbed.simulate_session_scalar(&mobile, 64).unwrap();
+        assert!(scalar.handoff_rate() > 0.0);
+        for width in [1, 5, 64] {
+            let batched = testbed
+                .simulate_session_batched(&mobile, 64, width)
+                .unwrap();
+            assert_eq!(batched, scalar, "noiseless mobile diverged at {width}");
+        }
+        let split = scenario(450.0, 2.2, ExecutionTarget::Split { client_share: 0.5 });
+        let scalar = testbed.simulate_session_scalar(&split, 33).unwrap();
+        let batched = testbed.simulate_session_batched(&split, 33, 8).unwrap();
         assert_eq!(batched, scalar);
     }
 }

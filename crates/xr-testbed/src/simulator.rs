@@ -48,7 +48,6 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Exp, Normal};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use xr_core::Scenario;
 use xr_devices::DeviceCatalog;
 use xr_stats::Summary;
@@ -89,14 +88,24 @@ pub mod stream {
 }
 
 /// Ground-truth measurements for one frame.
+///
+/// Per-segment measurements are stored structure-of-arrays style — one
+/// fixed slot per [`Segment`] in [`Segment::ALL`] order
+/// ([`Segment::slot`]) — so emitting a frame costs two array copies
+/// instead of two heap-allocated map builds (the frame emit path is the
+/// hot path of every measurement campaign). Read them through
+/// [`GroundTruthFrame::segment_latency`] /
+/// [`GroundTruthFrame::segment_energy`] or the
+/// [`GroundTruthFrame::latencies`] / [`GroundTruthFrame::energies`]
+/// iterators.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GroundTruthFrame {
-    /// Measured latency per segment.
-    pub latency: BTreeMap<Segment, Seconds>,
+    /// Measured latency per segment, indexed by [`Segment::slot`].
+    pub(crate) latency: [Seconds; Segment::ALL.len()],
     /// Measured end-to-end latency (gated the same way as Eq. 1).
     pub total_latency: Seconds,
-    /// Measured energy per segment.
-    pub energy: BTreeMap<Segment, Joules>,
+    /// Measured energy per segment, indexed by [`Segment::slot`].
+    pub(crate) energy: [Joules; Segment::ALL.len()],
     /// Measured total energy (power-monitor integral plus thermal share).
     pub total_energy: Joules,
     /// Whether a handoff occurred during this frame.
@@ -107,13 +116,23 @@ impl GroundTruthFrame {
     /// Latency of one segment (zero when the segment did not run).
     #[must_use]
     pub fn segment_latency(&self, segment: Segment) -> Seconds {
-        self.latency.get(&segment).copied().unwrap_or(Seconds::ZERO)
+        self.latency[segment.slot()]
     }
 
     /// Energy of one segment.
     #[must_use]
     pub fn segment_energy(&self, segment: Segment) -> Joules {
-        self.energy.get(&segment).copied().unwrap_or(Joules::ZERO)
+        self.energy[segment.slot()]
+    }
+
+    /// Per-segment latencies in [`Segment::ALL`] (= `Ord`) order.
+    pub fn latencies(&self) -> impl Iterator<Item = (Segment, Seconds)> + '_ {
+        Segment::ALL.iter().map(|&s| (s, self.latency[s.slot()]))
+    }
+
+    /// Per-segment energies in [`Segment::ALL`] (= `Ord`) order.
+    pub fn energies(&self) -> impl Iterator<Item = (Segment, Joules)> + '_ {
+        Segment::ALL.iter().map(|&s| (s, self.energy[s.slot()]))
     }
 }
 
@@ -452,12 +471,11 @@ impl TestbedSimulator {
             + Self::ms(frame.raw_size.as_f64(), s.c_true)
             + frame.raw_data / s.memory)
             * self.noise(&mut rng);
-        s.latency.insert(Segment::FrameGeneration, generation);
+        s.latency[Segment::FrameGeneration.slot()] = generation;
         let volumetric = (Self::ms(frame.scene_size.as_f64(), s.c_true)
             + frame.volumetric_data / s.memory)
             * self.noise(&mut rng);
-        s.latency
-            .insert(Segment::VolumetricDataGeneration, volumetric);
+        s.latency[Segment::VolumetricDataGeneration.slot()] = volumetric;
     }
 
     /// Stage 2 — external sensor information: per-update generation +
@@ -474,7 +492,7 @@ impl TestbedSimulator {
             }
             ext = ext.max(sensor_total);
         }
-        s.latency.insert(Segment::ExternalSensorInformation, ext);
+        s.latency[Segment::ExternalSensorInformation.slot()] = ext;
     }
 
     /// Stage 3 — input-buffer waiting: each flow's sojourn time is
@@ -511,14 +529,14 @@ impl TestbedSimulator {
         } else {
             Seconds::ZERO
         };
-        s.latency.insert(Segment::FrameConversion, conversion);
+        s.latency[Segment::FrameConversion.slot()] = conversion;
         s.encode_work = self.laws.encoding_work(&s.scenario.encoding, frame, s.bias);
         let encoding = if s.uses_edge {
             (Self::ms(s.encode_work, s.c_true) + frame.raw_data / s.memory) * self.noise(&mut rng)
         } else {
             Seconds::ZERO
         };
-        s.latency.insert(Segment::FrameEncoding, encoding);
+        s.latency[Segment::FrameEncoding.slot()] = encoding;
     }
 
     /// Stage 5 — the on-device CNN share.
@@ -534,7 +552,7 @@ impl TestbedSimulator {
         } else {
             Seconds::ZERO
         };
-        s.latency.insert(Segment::LocalInference, local);
+        s.latency[Segment::LocalInference.slot()] = local;
     }
 
     /// Stage 6 — uplink transmission and remote inference: weighted-slowest
@@ -571,8 +589,8 @@ impl TestbedSimulator {
                 transmission = transmission.max(tx);
             }
         }
-        s.latency.insert(Segment::RemoteInference, remote);
-        s.latency.insert(Segment::Transmission, transmission);
+        s.latency[Segment::RemoteInference.slot()] = remote;
+        s.latency[Segment::Transmission.slot()] = transmission;
     }
 
     /// Stage 7 — mobility and handoff. With session state, the stateful
@@ -612,7 +630,7 @@ impl TestbedSimulator {
         } else {
             Seconds::ZERO
         };
-        s.latency.insert(Segment::Handoff, handoff_latency);
+        s.latency[Segment::Handoff.slot()] = handoff_latency;
     }
 
     /// Stage 8 — rendering and downlink: compute + memory + buffered input +
@@ -637,7 +655,7 @@ impl TestbedSimulator {
             * self.noise(&mut rng)
             + s.buffering
             + result_delivery;
-        s.latency.insert(Segment::FrameRendering, rendering);
+        s.latency[Segment::FrameRendering.slot()] = rendering;
     }
 
     /// Stage 9 — XR cooperation exchange.
@@ -647,7 +665,7 @@ impl TestbedSimulator {
         let coop = (cooperation.payload / cooperation.throughput
             + cooperation.distance / SPEED_OF_LIGHT)
             * self.noise(&mut rng);
-        s.latency.insert(Segment::XrCooperation, coop);
+        s.latency[Segment::XrCooperation.slot()] = coop;
     }
 
     /// Stage 10 — Eq. 1 gating of the end-to-end total and the Monsoon-style
@@ -656,10 +674,14 @@ impl TestbedSimulator {
     /// sampled trace's energy distribution exactly).
     fn finalize(&self, s: FrameState<'_>, frame_index: u64) -> GroundTruthFrame {
         let scenario = s.scenario;
+        // Every stage wrote its slot, so walking `Segment::ALL` here visits
+        // exactly the (segment, value) pairs the old per-frame BTreeMap
+        // iterated, in the same ascending order — the floating-point sums
+        // below accumulate identically.
         let mut total_latency = Seconds::ZERO;
-        for (segment, value) in &s.latency {
-            if Self::segment_included(scenario, *segment, s.uses_local, s.uses_edge) {
-                total_latency += *value;
+        for (slot, &segment) in Segment::ALL.iter().enumerate() {
+            if Self::segment_included(scenario, segment, s.uses_local, s.uses_edge) {
+                total_latency += s.latency[slot];
             }
         }
 
@@ -667,17 +689,18 @@ impl TestbedSimulator {
         let compute_power =
             self.laws
                 .mean_power(client.cpu_clock, client.gpu_clock, client.cpu_share, s.bias);
-        let mut energy: BTreeMap<Segment, Joules> = BTreeMap::new();
+        let mut energy = [Joules::ZERO; Segment::ALL.len()];
         let mut phases: Vec<(Watts, Seconds)> = Vec::new();
         let mut compute_energy = Joules::ZERO;
-        for (segment, duration) in &s.latency {
-            let included = Self::segment_included(scenario, *segment, s.uses_local, s.uses_edge);
-            let power = self.segment_power(*segment, compute_power);
-            let seg_energy = power * *duration;
-            energy.insert(*segment, seg_energy);
+        for (slot, &segment) in Segment::ALL.iter().enumerate() {
+            let duration = s.latency[slot];
+            let included = Self::segment_included(scenario, segment, s.uses_local, s.uses_edge);
+            let power = self.segment_power(segment, compute_power);
+            let seg_energy = power * duration;
+            energy[slot] = seg_energy;
             if included {
-                phases.push((power, *duration));
-                if Self::segment_is_compute(*segment) {
+                phases.push((power, duration));
+                if Self::segment_is_compute(segment) {
                     compute_energy += seg_energy;
                 }
             }
@@ -827,7 +850,10 @@ struct FrameState<'a> {
     /// Sampled input-buffer sojourn, produced by the buffer stage and
     /// consumed by the render stage.
     buffering: Seconds,
-    latency: BTreeMap<Segment, Seconds>,
+    /// Per-segment latency, indexed by `Segment::slot()` (stages write
+    /// their slots; unwritten slots stay zero, like the old map's
+    /// missing-entry default).
+    latency: [Seconds; Segment::ALL.len()],
     handoff_occurred: bool,
 }
 
@@ -852,7 +878,7 @@ impl<'a> FrameState<'a> {
             edge_share: scenario.execution.edge_share(),
             encode_work: 0.0,
             buffering: Seconds::ZERO,
-            latency: BTreeMap::new(),
+            latency: [Seconds::ZERO; Segment::ALL.len()],
             handoff_occurred: false,
         }
     }

@@ -28,6 +28,7 @@
 pub mod error;
 pub mod frame;
 pub mod ids;
+pub mod lanes;
 pub mod seed;
 pub mod segment;
 pub mod units;

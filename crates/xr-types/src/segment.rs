@@ -55,6 +55,18 @@ impl Segment {
         Segment::XrCooperation,
     ];
 
+    /// The segment's index in [`Segment::ALL`] — the column slot used by
+    /// structure-of-arrays per-segment storage (the testbed's frame
+    /// engines and [`xr_testbed::GroundTruthFrame`]'s per-segment arrays).
+    /// `ALL` lists the segments in declaration (= `Ord`) order, so slots
+    /// ascend exactly like a `BTreeMap<Segment, _>` iterates.
+    ///
+    /// [`xr_testbed::GroundTruthFrame`]: https://docs.rs/xr-testbed
+    #[must_use]
+    pub const fn slot(self) -> usize {
+        self as usize
+    }
+
     /// Returns `true` when the segment runs on the XR device itself (as
     /// opposed to the edge server or the wireless medium).
     #[must_use]
@@ -108,6 +120,21 @@ impl Segment {
             Segment::Handoff => "handoff",
             Segment::XrCooperation => "cooperation",
         }
+    }
+}
+
+#[cfg(test)]
+mod slot_tests {
+    use super::Segment;
+
+    #[test]
+    fn slots_are_the_positions_in_all_and_ascend_in_ord_order() {
+        for (index, segment) in Segment::ALL.iter().enumerate() {
+            assert_eq!(segment.slot(), index, "{segment:?} slot drifted");
+        }
+        let mut sorted = Segment::ALL;
+        sorted.sort();
+        assert_eq!(sorted, Segment::ALL, "ALL must stay in Ord order");
     }
 }
 

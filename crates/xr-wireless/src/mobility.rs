@@ -268,7 +268,18 @@ impl RandomWalker {
     /// carry-preserving step per batch.
     #[must_use]
     pub fn advance_many(&mut self, windows: &[Seconds]) -> Vec<usize> {
-        windows.iter().map(|&window| self.advance(window)).collect()
+        let mut crossings = Vec::with_capacity(windows.len());
+        self.advance_many_into(windows, &mut crossings);
+        crossings
+    }
+
+    /// [`RandomWalker::advance_many`] into a caller-provided buffer, so a
+    /// batch loop can reuse one crossings allocation for the whole session.
+    /// The buffer is cleared first; afterwards `crossings[i]` holds the
+    /// handoff count of `windows[i]`.
+    pub fn advance_many_into(&mut self, windows: &[Seconds], crossings: &mut Vec<usize>) {
+        crossings.clear();
+        crossings.extend(windows.iter().map(|&window| self.advance(window)));
     }
 }
 
@@ -415,6 +426,11 @@ mod tests {
         let expected: Vec<usize> = windows.iter().map(|&w| scalar.advance(w)).collect();
         let got = batched.advance_many(&windows);
         assert_eq!(got, expected);
+        // The buffer-reusing form clears stale contents and matches too.
+        let mut reused = sprint.walker(31);
+        let mut buffer = vec![999usize; 3];
+        reused.advance_many_into(&windows, &mut buffer);
+        assert_eq!(buffer, expected);
         assert!(got.iter().sum::<usize>() > 0, "sprint never crossed");
         assert_eq!(batched.radius(), scalar.radius());
         assert_eq!(
