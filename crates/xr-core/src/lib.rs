@@ -58,6 +58,6 @@ pub use latency::{LatencyBreakdown, LatencyModel};
 pub use offload::{Objective, OffloadCandidate, OffloadPlan, OffloadPlanner};
 pub use report::{PerformanceReport, XrPerformanceModel};
 pub use scenario::{
-    BufferConfig, ClientConfig, CooperationConfig, EdgeServerConfig, MobilityConfig, Scenario,
-    ScenarioBuilder, SensorConfig,
+    BufferConfig, ClientConfig, ContentionConfig, CooperationConfig, EdgeServerConfig,
+    MobilityConfig, Scenario, ScenarioBuilder, SensorConfig,
 };

@@ -151,6 +151,20 @@ impl Default for BufferConfig {
     }
 }
 
+/// Multi-tenant edge contention: how many concurrent XR sessions share each
+/// edge inference server.
+///
+/// When present on a [`Scenario`], the testbed's uplink/edge-inference stage
+/// stops treating the edge as a private accelerator and instead draws the
+/// tagged session's per-frame sojourn from a stable M/M/1 queue whose arrival
+/// rate is `users_per_edge × frame rate` and whose service rate is the
+/// reciprocal of the deterministic per-frame edge service time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContentionConfig {
+    /// Number of sessions sharing each edge server, including this one.
+    pub users_per_edge: u32,
+}
+
 /// Device mobility and handoff parameters (Eq. 17).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MobilityConfig {
@@ -226,6 +240,9 @@ pub struct Scenario {
     pub mobility: MobilityConfig,
     /// XR-cooperation parameters.
     pub cooperation: CooperationConfig,
+    /// Multi-tenant edge contention; `None` keeps the paper's private-edge
+    /// assumption.
+    pub contention: Option<ContentionConfig>,
     /// Which segments are included in the end-to-end totals.
     pub segments: SegmentSet,
 }
@@ -304,6 +321,14 @@ impl Scenario {
                 "must be at least 1",
             ));
         }
+        if let Some(contention) = self.contention {
+            if contention.users_per_edge == 0 {
+                return Err(Error::invalid_parameter(
+                    "users_per_edge",
+                    "must be at least 1",
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -324,6 +349,7 @@ pub struct ScenarioBuilder {
     buffer: BufferConfig,
     mobility: MobilityConfig,
     cooperation: CooperationConfig,
+    contention: Option<ContentionConfig>,
     segments: SegmentSet,
 }
 
@@ -359,6 +385,7 @@ impl ScenarioBuilder {
             buffer: BufferConfig::default(),
             mobility: MobilityConfig::default(),
             cooperation: CooperationConfig::default(),
+            contention: None,
             segments: SegmentSet::standard(),
         }
     }
@@ -493,6 +520,17 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Shares each edge server between `users` concurrent sessions (multi-
+    /// tenant contention); one user means an aggregate queue carrying only
+    /// the tagged session.
+    #[must_use]
+    pub fn contention(mut self, users: u32) -> Self {
+        self.contention = Some(ContentionConfig {
+            users_per_edge: users,
+        });
+        self
+    }
+
     /// Overrides the segment set included in the totals.
     #[must_use]
     pub fn segments(mut self, segments: SegmentSet) -> Self {
@@ -520,6 +558,7 @@ impl ScenarioBuilder {
             buffer: self.buffer,
             mobility: self.mobility,
             cooperation: self.cooperation,
+            contention: self.contention,
             segments: self.segments,
         };
         scenario.validate()?;
@@ -623,6 +662,26 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, Error::InvalidConfiguration(_)));
+    }
+
+    #[test]
+    fn contention_defaults_off_and_rejects_zero_users() {
+        let s = Scenario::builder().build().unwrap();
+        assert_eq!(s.contention, None);
+
+        let shared = Scenario::builder()
+            .execution(ExecutionTarget::Remote)
+            .contention(4)
+            .build()
+            .unwrap();
+        assert_eq!(
+            shared.contention,
+            Some(ContentionConfig { users_per_edge: 4 })
+        );
+
+        let err = Scenario::builder().contention(0).build().unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { .. }));
+        assert!(err.to_string().contains("users_per_edge"));
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! Contention figure: ground-truth latency knee against the number of
+//! sessions sharing one edge server, replicated with 95 % confidence
+//! intervals through the shared campaign engine.
+
+use xr_experiments::contention_experiments::{contention_sweep, FIG_CONTENTION_HEADER};
+use xr_experiments::{output, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let points = contention_sweep(&ctx).expect("contention sweep failed");
+    let cells: Vec<Vec<String>> = points.iter().map(|p| p.cells()).collect();
+    output::print_experiment(
+        "Contention — latency knee vs sessions per edge server",
+        &FIG_CONTENTION_HEADER,
+        &cells,
+        "fig_contention.csv",
+    );
+    let peak = points.last().expect("populations swept");
+    println!(
+        "{} populations evaluated with {} worker(s); bottleneck utilisation peaks at {:.3}",
+        points.len(),
+        ctx.runner().workers(),
+        peak.row.edge_utilization
+    );
+}

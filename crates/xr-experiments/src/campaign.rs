@@ -1,9 +1,10 @@
-//! Consolidated measurement campaigns over the full seven-axis sweep grid.
+//! Consolidated measurement campaigns over the full nine-axis sweep grid.
 //!
 //! Where the `figures`/`comparison` modules regenerate individual paper
 //! panels, a *campaign* sweeps every axis the engine knows about — frame
 //! size, CPU clock, execution target, client device, wireless condition,
-//! mobility condition, measurement-campaign size (frames per session) —
+//! mobility condition, measurement-campaign size (frames per session),
+//! edge population (`users_per_edge`), per-session frame rate —
 //! and measures each operating point with
 //! `grid.replications()` independently seeded testbed sessions, exactly as
 //! the paper's campaign repeats measurements under a moving user. Each row
@@ -19,7 +20,7 @@ use xr_sweep::{CampaignRunner, OperatingPoint, SweepGrid, WirelessCondition};
 use xr_types::{ExecutionTarget, Result};
 
 /// Column header of the consolidated campaign CSV.
-pub const CAMPAIGN_HEADER: [&str; 18] = [
+pub const CAMPAIGN_HEADER: [&str; 22] = [
     "point",
     "device",
     "wireless",
@@ -27,6 +28,8 @@ pub const CAMPAIGN_HEADER: [&str; 18] = [
     "execution",
     "cpu_ghz",
     "frame_size",
+    "frame_rate_hz",
+    "users_per_edge",
     "frames_per_session",
     "replications",
     "gt_latency_ms_mean",
@@ -36,6 +39,8 @@ pub const CAMPAIGN_HEADER: [&str; 18] = [
     "gt_energy_mj_ci95_lo",
     "gt_energy_mj_ci95_hi",
     "gt_handoff_rate",
+    "edge_utilization",
+    "gt_contention_ms_mean",
     "proposed_latency_ms",
     "proposed_energy_mj",
 ];
@@ -80,6 +85,11 @@ struct RepSample {
     /// `(latency_ms, energy_mj)` model prediction, computed only on the
     /// first replication (the model is deterministic per point).
     proposed: Option<(f64, f64)>,
+    /// `(bottleneck utilisation ρ, analytic mean contention delay in ms)`
+    /// of the shared edge queue, computed only on the first replication
+    /// (the snapshot is deterministic per point); `(0, 0)` when the point
+    /// runs contention-free.
+    contention: Option<(f64, f64)>,
 }
 
 /// One consolidated campaign measurement: the operating point plus
@@ -102,6 +112,14 @@ pub struct CampaignRow {
     /// Ground-truth fraction of frames with a handoff, averaged over
     /// replications.
     pub gt_handoff_rate: f64,
+    /// Utilisation `ρ` of the bottleneck shared edge queue at this point —
+    /// deterministic (offered load over service rate), `0` when the point
+    /// runs contention-free.
+    pub edge_utilization: f64,
+    /// Analytic mean contention delay (ms) of the shared edge queue: the
+    /// expectation of the M/M/1 sojourn term the contended remote stage
+    /// draws from, `0` when the point runs contention-free.
+    pub gt_contention_ms_mean: f64,
     /// Proposed-model latency prediction (ms) — deterministic per point.
     pub proposed_latency_ms: f64,
     /// Proposed-model energy prediction (mJ) — deterministic per point.
@@ -125,6 +143,12 @@ impl CampaignRow {
             execution,
             format!("{:.1}", self.point.cpu_clock_ghz),
             format!("{:.0}", self.point.frame_size),
+            self.point
+                .frame_rate_hz
+                .map_or_else(|| "default".to_string(), |rate| format!("{rate:.1}")),
+            self.point
+                .users_per_edge
+                .map_or_else(|| "off".to_string(), |users| users.to_string()),
             self.frames_per_session.to_string(),
             self.replications.to_string(),
             format!("{:.3}", self.gt_latency_ms.mean),
@@ -134,6 +158,8 @@ impl CampaignRow {
             format!("{:.3}", self.gt_energy_mj.ci95_lo),
             format!("{:.3}", self.gt_energy_mj.ci95_hi),
             format!("{:.4}", self.gt_handoff_rate),
+            format!("{:.4}", self.edge_utilization),
+            format!("{:.3}", self.gt_contention_ms_mean),
             format!("{:.3}", self.proposed_latency_ms),
             format!("{:.3}", self.proposed_energy_mj),
         ]
@@ -205,19 +231,33 @@ pub fn run_campaign_streaming_with(
             let session = ctx
                 .testbed_for_seed(rep_ctx.seed)
                 .simulate_session(&scenario, ctx.frames_for(point))?;
-            // The proposed model is deterministic per point: analyze once,
-            // on the first replication.
-            let proposed = if rep_ctx.rep_index == 0 {
+            // The proposed model and the contention snapshot are
+            // deterministic per point: compute once, on the first
+            // replication.
+            let (proposed, contention) = if rep_ctx.rep_index == 0 {
                 let report = ctx.proposed().analyze(&scenario)?;
-                Some((report.latency_ms().as_f64(), report.energy_mj().as_f64()))
+                let contention =
+                    ctx.testbed()
+                        .contention_snapshot(&scenario)?
+                        .map_or((0.0, 0.0), |snapshot| {
+                            (
+                                snapshot.utilization(),
+                                snapshot.mean_contention_delay().as_f64() * 1e3,
+                            )
+                        });
+                (
+                    Some((report.latency_ms().as_f64(), report.energy_mj().as_f64())),
+                    Some(contention),
+                )
             } else {
-                None
+                (None, None)
             };
             Ok(RepSample {
                 latency_ms: session.mean_latency().as_f64() * 1e3,
                 energy_mj: session.mean_energy().as_f64() * 1e3,
                 handoff_rate: session.handoff_rate(),
                 proposed,
+                contention,
             })
         },
         |point_index, samples: Vec<RepSample>| {
@@ -228,6 +268,9 @@ pub fn run_campaign_streaming_with(
             let (proposed_latency_ms, proposed_energy_mj) = samples[0]
                 .proposed
                 .expect("the first replication carries the model prediction");
+            let (edge_utilization, gt_contention_ms_mean) = samples[0]
+                .contention
+                .expect("the first replication carries the contention snapshot");
             sink(
                 point_index,
                 CampaignRow {
@@ -237,6 +280,8 @@ pub fn run_campaign_streaming_with(
                     gt_latency_ms: ReplicateStats::of(&latencies),
                     gt_energy_mj: ReplicateStats::of(&energies),
                     gt_handoff_rate: handoff_rate,
+                    edge_utilization,
+                    gt_contention_ms_mean,
                     proposed_latency_ms,
                     proposed_energy_mj,
                 },

@@ -1,0 +1,181 @@
+//! The contention figure: the end-to-end latency knee against the number of
+//! sessions sharing one edge server.
+//!
+//! The paper models a private edge server per session; this experiment
+//! relaxes that assumption. Every operating point routes the tagged
+//! session's edge stage through a shared M/M/1 queue whose arrival rate is
+//! `users_per_edge × frame rate` and whose service rate is the reciprocal
+//! of the deterministic edge service time, then measures the session on the
+//! ground-truth testbed. Sweeping the population at a fixed per-session
+//! frame rate traces the classic queueing knee: latency is flat while the
+//! bottleneck utilisation `ρ = N·λ/µ` is small and diverges as `ρ → 1`, at
+//! which point the testbed refuses to run rather than simulate a divergent
+//! queue. The per-session frame rate is pinned low (see
+//! [`CONTENTION_FRAME_RATE_HZ`]) so the default edge hosts a double-digit
+//! population before saturating — at the paper's 30 fps the knee sits
+//! between one and two users, which makes for a very short figure.
+
+use crate::campaign::{run_campaign_with, CampaignRow};
+use crate::context::ExperimentContext;
+use xr_sweep::{CampaignRunner, SweepGrid};
+use xr_types::{ExecutionTarget, Result};
+
+/// Column header of the contention-figure CSV.
+pub const FIG_CONTENTION_HEADER: [&str; 10] = [
+    "users_per_edge",
+    "frame_rate_hz",
+    "replications",
+    "edge_utilization",
+    "gt_latency_ms_mean",
+    "gt_latency_ms_ci95_lo",
+    "gt_latency_ms_ci95_hi",
+    "gt_contention_ms_mean",
+    "proposed_latency_ms",
+    "execution",
+];
+
+/// Edge populations swept by the contention figure. The largest value sits
+/// at `ρ ≈ 0.95` of the shared queue — just before the knee hits the wall.
+pub const CONTENTION_POPULATIONS: [u32; 6] = [1, 2, 4, 6, 8, 10];
+/// Per-session frame rate (Hz) of every contended session in the sweep.
+pub const CONTENTION_FRAME_RATE_HZ: f64 = 5.0;
+/// Frame side (pixels) of the contention sweep, chosen with the frame rate
+/// so the shared queue saturates inside the swept population range.
+pub const CONTENTION_FRAME_SIDE: f64 = 300.0;
+/// Replications per population operating point.
+pub const CONTENTION_REPLICATIONS: usize = 5;
+
+/// The population grid behind the contention figure: remote inference on
+/// the held-out client at a fixed small frame and low frame rate, sweeping
+/// [`CONTENTION_POPULATIONS`] sessions over the shared edge with
+/// [`CONTENTION_REPLICATIONS`] independently seeded sessions per point.
+#[must_use]
+pub fn contention_grid() -> SweepGrid {
+    SweepGrid::paper_panel(ExecutionTarget::Remote)
+        .with_frame_sizes([CONTENTION_FRAME_SIDE])
+        .with_cpu_clocks([2.0])
+        .with_frame_rates([CONTENTION_FRAME_RATE_HZ])
+        .with_users_per_edge(CONTENTION_POPULATIONS)
+        .with_replications(CONTENTION_REPLICATIONS)
+}
+
+/// One row of the contention figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionPoint {
+    /// Sessions sharing the tagged session's edge server.
+    pub users_per_edge: u32,
+    /// Per-session frame rate (Hz) — also the per-session arrival rate of
+    /// the shared queue.
+    pub frame_rate_hz: f64,
+    /// The aggregated campaign measurement at this point.
+    pub row: CampaignRow,
+}
+
+impl ContentionPoint {
+    /// CSV/console cells for the output layer.
+    #[must_use]
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.users_per_edge.to_string(),
+            format!("{:.1}", self.frame_rate_hz),
+            self.row.replications.to_string(),
+            format!("{:.4}", self.row.edge_utilization),
+            format!("{:.3}", self.row.gt_latency_ms.mean),
+            format!("{:.3}", self.row.gt_latency_ms.ci95_lo),
+            format!("{:.3}", self.row.gt_latency_ms.ci95_hi),
+            format!("{:.3}", self.row.gt_contention_ms_mean),
+            format!("{:.3}", self.row.proposed_latency_ms),
+            "remote".to_string(),
+        ]
+    }
+}
+
+/// Runs the contention sweep and returns one point per population in grid
+/// order (population increasing).
+///
+/// # Errors
+///
+/// Propagates grid, scenario and model errors.
+pub fn contention_sweep(ctx: &ExperimentContext) -> Result<Vec<ContentionPoint>> {
+    contention_sweep_with(ctx, &ctx.runner())
+}
+
+/// [`contention_sweep`] with an explicit runner (determinism tests pin the
+/// worker count).
+///
+/// # Errors
+///
+/// Propagates grid, scenario and model errors.
+pub fn contention_sweep_with(
+    ctx: &ExperimentContext,
+    runner: &CampaignRunner,
+) -> Result<Vec<ContentionPoint>> {
+    let rows = run_campaign_with(ctx, &contention_grid(), runner)?;
+    Ok(rows
+        .into_iter()
+        .map(|row| ContentionPoint {
+            users_per_edge: row.point.users_per_edge.unwrap_or(1),
+            frame_rate_hz: row.point.frame_rate_hz.unwrap_or(CONTENTION_FRAME_RATE_HZ),
+            row,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_sweep_traces_the_latency_knee() {
+        let ctx = ExperimentContext::quick(23).unwrap();
+        let points = contention_sweep(&ctx).unwrap();
+        assert_eq!(points.len(), CONTENTION_POPULATIONS.len());
+        for (point, &users) in points.iter().zip(&CONTENTION_POPULATIONS) {
+            assert_eq!(point.users_per_edge, users);
+            assert_eq!(point.frame_rate_hz, CONTENTION_FRAME_RATE_HZ);
+            assert_eq!(point.row.replications, CONTENTION_REPLICATIONS);
+            assert_eq!(point.cells().len(), FIG_CONTENTION_HEADER.len());
+            assert!(point.row.gt_contention_ms_mean > 0.0);
+        }
+        // Utilisation is linear in the population and stays below 1 for
+        // every swept point (the largest sits just before the wall).
+        let unit = points[0].row.edge_utilization;
+        assert!(unit > 0.0);
+        for point in &points {
+            let expected = unit * f64::from(point.users_per_edge);
+            assert!((point.row.edge_utilization - expected).abs() < 1e-9);
+            assert!(point.row.edge_utilization < 1.0);
+        }
+        let last = points.last().unwrap();
+        assert!(
+            last.row.edge_utilization > 0.85,
+            "the sweep should approach saturation, got ρ = {}",
+            last.row.edge_utilization
+        );
+        // Measured latency rises monotonically with the population …
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].row.gt_latency_ms.mean > pair[0].row.gt_latency_ms.mean,
+                "latency must increase with the population: {} users {} ms vs {} users {} ms",
+                pair[1].users_per_edge,
+                pair[1].row.gt_latency_ms.mean,
+                pair[0].users_per_edge,
+                pair[0].row.gt_latency_ms.mean
+            );
+        }
+        // … with a visible knee: the final step dwarfs the first one.
+        let first_step = points[1].row.gt_latency_ms.mean - points[0].row.gt_latency_ms.mean;
+        let last_step = points[points.len() - 1].row.gt_latency_ms.mean
+            - points[points.len() - 2].row.gt_latency_ms.mean;
+        assert!(
+            last_step > 4.0 * first_step.max(0.0),
+            "no knee: first step {first_step} ms, last step {last_step} ms"
+        );
+        // The paper's private-edge analytical model is blind to the
+        // population, so its prediction stays flat across the sweep.
+        let proposed = points[0].row.proposed_latency_ms;
+        assert!(points
+            .iter()
+            .all(|p| (p.row.proposed_latency_ms - proposed).abs() < 1e-9));
+    }
+}

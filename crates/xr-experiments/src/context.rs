@@ -167,6 +167,8 @@ impl ExperimentContext {
             wireless: WirelessCondition::baseline(),
             mobility: MobilityCondition::static_device(),
             frames_per_session: None,
+            users_per_edge: None,
+            frame_rate_hz: None,
         })
     }
 
@@ -177,18 +179,28 @@ impl ExperimentContext {
     /// device — a wireless condition overrides only the fields it names, so
     /// every non-baseline point stays pairwise comparable with its baseline
     /// twin. The baseline wireless condition applies no overrides at all;
-    /// the static mobility condition equals the scenario defaults.
+    /// the static mobility condition equals the scenario defaults. A point
+    /// on the `users_per_edge` axis turns multi-tenant edge contention on,
+    /// and one on the `frame_rates` axis overrides the per-session frame
+    /// rate (which is also the per-session arrival rate the shared edge
+    /// queue sees).
     ///
     /// # Errors
     ///
     /// Propagates catalog-lookup and scenario-validation errors.
     pub fn scenario_for(&self, point: &OperatingPoint) -> Result<Scenario> {
-        let mut scenario = Scenario::builder()
+        let mut builder = Scenario::builder()
             .client_from_catalog(&point.device)?
             .frame_side(point.frame_size)
             .cpu_clock(GigaHertz::new(point.cpu_clock_ghz))
-            .execution(point.execution)
-            .build()?;
+            .execution(point.execution);
+        if let Some(rate) = point.frame_rate_hz {
+            builder = builder.frame_rate(xr_types::Hertz::new(rate));
+        }
+        if let Some(users) = point.users_per_edge {
+            builder = builder.contention(users);
+        }
+        let mut scenario = builder.build()?;
         for server in &mut scenario.edge_servers {
             if let Some(distance) = point.wireless.distance_m {
                 server.distance = Meters::new(distance);
@@ -255,6 +267,35 @@ mod tests {
     fn sweep_constants_match_the_paper() {
         assert_eq!(ExperimentContext::FRAME_SIZES.len(), 5);
         assert_eq!(ExperimentContext::CPU_CLOCKS, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn contended_points_carry_population_and_frame_rate_into_the_scenario() {
+        let ctx = ExperimentContext::quick(7).unwrap();
+        let mut point = OperatingPoint {
+            index: 0,
+            frame_size: 300.0,
+            cpu_clock_ghz: 2.0,
+            execution: ExecutionTarget::Remote,
+            device: grid::PAPER_EVAL_DEVICE.to_string(),
+            wireless: WirelessCondition::baseline(),
+            mobility: MobilityCondition::static_device(),
+            frames_per_session: None,
+            users_per_edge: Some(4),
+            frame_rate_hz: Some(5.0),
+        };
+        let scenario = ctx.scenario_for(&point).unwrap();
+        assert_eq!(
+            scenario.contention,
+            Some(xr_core::ContentionConfig { users_per_edge: 4 })
+        );
+        assert!((scenario.frame.frame_rate.as_f64() - 5.0).abs() < 1e-12);
+        // The default point keeps contention off and the 30 fps default.
+        point.users_per_edge = None;
+        point.frame_rate_hz = None;
+        let scenario = ctx.scenario_for(&point).unwrap();
+        assert!(scenario.contention.is_none());
+        assert!((scenario.frame.frame_rate.as_f64() - 30.0).abs() < 1e-12);
     }
 
     #[test]

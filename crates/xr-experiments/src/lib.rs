@@ -13,9 +13,10 @@
 //! | Fig. 5(a)/(b) comparison with FACT and LEAF | [`comparison`] | `fig5a`, `fig5b` |
 //! | §VIII-A/B mean-error summary | [`errors`] | `error_summary` |
 //! | Eqs. 3/10/12/21 regression fits | [`regression_report`] | `regression_report` |
-//! | Consolidated seven-axis replicated sweep | [`campaign`] | `campaign` |
+//! | Consolidated nine-axis replicated sweep | [`campaign`] | `campaign` |
 //! | Mobility: latency/handoffs vs speed × radius | [`mobility_experiments`] | `fig_mobility` |
 //! | Training scaling: CI width vs campaign size | [`scaling_experiments`] | `fig_training_scaling` |
+//! | Contention: latency knee vs edge population | [`contention_experiments`] | `fig_contention` |
 //!
 //! Each binary prints the rows/series the paper reports and writes a CSV
 //! artifact under `target/experiments/`. `run_all` chains everything in
@@ -32,6 +33,7 @@ pub mod ablation;
 pub mod aoi_experiments;
 pub mod campaign;
 pub mod comparison;
+pub mod contention_experiments;
 pub mod context;
 pub mod errors;
 pub mod figures;
@@ -45,6 +47,7 @@ pub use ablation::{AblationRow, AblationStudy};
 pub use aoi_experiments::{AoiPoint, AoiSweep, RoiPoint};
 pub use campaign::{CampaignRow, ReplicateStats};
 pub use comparison::{ComparisonPoint, ComparisonSweep, Metric};
+pub use contention_experiments::ContentionPoint;
 pub use context::ExperimentContext;
 pub use errors::ErrorSummary;
 pub use figures::{SweepPoint, SweepResult};

@@ -1,0 +1,182 @@
+//! Multi-tenant edge contention: the M/M/1 coupling between a population of
+//! XR sessions and one edge inference server.
+//!
+//! The paper's latency model gives every session the edge server to itself.
+//! [`EdgeContention`] drops that assumption: `N` concurrent sessions, each
+//! generating frames at the same per-session rate, share one edge server
+//! whose deterministic service time comes from the testbed's edge compute
+//! model. The aggregate inference queue is a stable M/M/1 system with
+//!
+//! * arrival rate `λ = N × per-session frame rate`, and
+//! * service rate `µ = 1 / service time`,
+//!
+//! so the tagged session's per-frame sojourn (waiting + inference) is
+//! exponentially distributed with rate `µ − λ` and mean
+//! [`MM1Queue::mean_time_in_system`] — the closed form the testbed's
+//! contended stage is property-tested against.
+
+use crate::mm1::MM1Queue;
+use serde::{Deserialize, Serialize};
+use xr_types::{Error, Result, Seconds};
+
+/// A population of `users` XR sessions sharing one edge inference server,
+/// modelled as a stable M/M/1 queue over the aggregate frame stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeContention {
+    users: u32,
+    per_session_rate: f64,
+    service_time: Seconds,
+    queue: MM1Queue,
+}
+
+impl EdgeContention {
+    /// Couples `users` sessions, each producing frames at
+    /// `per_session_rate` Hz, to an edge server with the given deterministic
+    /// per-frame `service_time`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `users` is zero or a rate or
+    /// service time is non-positive/non-finite, and [`Error::UnstableQueue`]
+    /// when the offered load `users × per_session_rate` reaches the service
+    /// rate `1 / service_time` (the steady state would not exist).
+    pub fn new(users: u32, per_session_rate: f64, service_time: Seconds) -> Result<Self> {
+        if users == 0 {
+            return Err(Error::invalid_parameter("users", "must be at least 1"));
+        }
+        if !(per_session_rate.is_finite() && per_session_rate > 0.0) {
+            return Err(Error::invalid_parameter(
+                "per_session_rate",
+                "must be positive and finite",
+            ));
+        }
+        let service = service_time.as_f64();
+        if !(service.is_finite() && service > 0.0) {
+            return Err(Error::invalid_parameter(
+                "service_time",
+                "must be positive and finite",
+            ));
+        }
+        let queue = MM1Queue::new(f64::from(users) * per_session_rate, 1.0 / service)?;
+        Ok(Self {
+            users,
+            per_session_rate,
+            service_time,
+            queue,
+        })
+    }
+
+    /// Number of sessions sharing the server (including the tagged one).
+    #[must_use]
+    pub fn users(&self) -> u32 {
+        self.users
+    }
+
+    /// Frame rate of one session in Hz.
+    #[must_use]
+    pub fn per_session_rate(&self) -> f64 {
+        self.per_session_rate
+    }
+
+    /// Deterministic per-frame service time of the edge server.
+    #[must_use]
+    pub fn service_time(&self) -> Seconds {
+        self.service_time
+    }
+
+    /// The underlying aggregate M/M/1 queue.
+    #[must_use]
+    pub fn queue(&self) -> &MM1Queue {
+        &self.queue
+    }
+
+    /// Aggregate arrival rate `λ = users × per_session_rate`.
+    #[must_use]
+    pub fn arrival_rate(&self) -> f64 {
+        self.queue.arrival_rate()
+    }
+
+    /// Service rate `µ = 1 / service_time`.
+    #[must_use]
+    pub fn service_rate(&self) -> f64 {
+        self.queue.service_rate()
+    }
+
+    /// Server utilisation `ρ = λ/µ`, strictly below one.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.queue.utilization()
+    }
+
+    /// Rate `µ − λ` of the exponential sojourn distribution the tagged
+    /// session's frames experience — what the testbed's contended stage
+    /// samples from.
+    #[must_use]
+    pub fn sojourn_rate(&self) -> f64 {
+        self.queue.service_rate() - self.queue.arrival_rate()
+    }
+
+    /// Mean sojourn (waiting + inference) of one frame,
+    /// `T̄ = 1/(µ − λ)` — the closed form the simulated mean must converge
+    /// to.
+    #[must_use]
+    pub fn mean_sojourn(&self) -> Seconds {
+        self.queue.mean_time_in_system()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_the_population_into_one_queue() {
+        // 4 users at 30 fps against a 2 ms service time: λ = 120/s, µ = 500/s.
+        let c = EdgeContention::new(4, 30.0, Seconds::from_millis(2.0)).unwrap();
+        assert_eq!(c.users(), 4);
+        assert!((c.arrival_rate() - 120.0).abs() < 1e-12);
+        assert!((c.service_rate() - 500.0).abs() < 1e-9);
+        assert!((c.utilization() - 0.24).abs() < 1e-12);
+        assert!((c.sojourn_rate() - 380.0).abs() < 1e-9);
+        assert!((c.mean_sojourn().as_f64() - 1.0 / 380.0).abs() < 1e-12);
+        assert_eq!(c.queue().arrival_rate(), c.arrival_rate());
+    }
+
+    #[test]
+    fn single_user_light_load_sojourn_approaches_service_time() {
+        // One 30 fps session on a 0.1 ms server: ρ = 0.003, so the mean
+        // sojourn is within half a percent of the bare service time — the
+        // regime where contention must reproduce the uncontended model.
+        let c = EdgeContention::new(1, 30.0, Seconds::from_millis(0.1)).unwrap();
+        let ratio = c.mean_sojourn().as_f64() / c.service_time().as_f64();
+        assert!(ratio > 1.0);
+        assert!(ratio < 1.005, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sojourn_grows_with_population() {
+        let service = Seconds::from_millis(2.0);
+        let mut last = Seconds::ZERO;
+        for users in [1, 4, 8, 12, 16] {
+            let c = EdgeContention::new(users, 30.0, service).unwrap();
+            assert!(c.mean_sojourn() > last, "users {users}");
+            assert!(c.utilization() < 1.0);
+            last = c.mean_sojourn();
+        }
+    }
+
+    #[test]
+    fn saturated_and_invalid_populations_are_rejected() {
+        // 17 × 30 fps = 510/s ≥ µ = 500/s.
+        let service = Seconds::from_millis(2.0);
+        assert!(matches!(
+            EdgeContention::new(17, 30.0, service),
+            Err(Error::UnstableQueue { .. })
+        ));
+        assert!(EdgeContention::new(0, 30.0, service).is_err());
+        assert!(EdgeContention::new(1, 0.0, service).is_err());
+        assert!(EdgeContention::new(1, f64::NAN, service).is_err());
+        assert!(EdgeContention::new(1, 30.0, Seconds::ZERO).is_err());
+        assert!(EdgeContention::new(1, 30.0, Seconds::new(f64::INFINITY)).is_err());
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`MM1Simulator`] — a discrete-event simulation of the same system, used
 //!   by the testbed simulator to produce ground-truth buffering delays and by
 //!   the test-suite to validate the closed forms.
+//! * [`EdgeContention`] — the multi-tenant coupling: `N` sessions sharing one
+//!   edge inference server as a stable M/M/1 queue over the aggregate frame
+//!   stream, driving the testbed's contended uplink/edge stage.
 //! * [`des`] — a small generic discrete-event engine (event queue keyed by
 //!   simulated time) reused by `xr-testbed`.
 //!
@@ -29,10 +32,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod contention;
 pub mod des;
 pub mod mm1;
 pub mod simulator;
 
+pub use contention::EdgeContention;
 pub use des::{Event, EventQueue};
 pub use mm1::MM1Queue;
 pub use simulator::{MM1Simulator, SimulationReport};

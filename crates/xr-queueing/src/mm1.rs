@@ -102,9 +102,14 @@ impl MM1Queue {
     }
 
     /// Probability that the time in system exceeds `t`:
-    /// `P(T > t) = exp(−(µ − λ)·t)`.
+    /// `P(T > t) = exp(−(µ − λ)·t)` for `t > 0`, and exactly 1 for `t ≤ 0`
+    /// (the sojourn is almost surely positive; without the clamp a negative
+    /// `t` would produce an "exceedance probability" above one).
     #[must_use]
     pub fn probability_sojourn_exceeds(&self, t: Seconds) -> f64 {
+        if t.as_f64() <= 0.0 {
+            return 1.0;
+        }
         (-(self.service_rate - self.arrival_rate) * t.as_f64()).exp()
     }
 
@@ -199,6 +204,51 @@ mod tests {
         assert!(MM1Queue::new(1.0, 0.0).is_err());
         assert!(MM1Queue::new(f64::NAN, 5.0).is_err());
         assert!(MM1Queue::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn sojourn_tail_clamps_at_and_below_zero() {
+        // P(T > 0) = 1 exactly, and negative horizons must not report an
+        // exceedance "probability" above one (exp of a positive number).
+        let q = MM1Queue::new(2.0, 5.0).unwrap();
+        assert_eq!(q.probability_sojourn_exceeds(Seconds::ZERO), 1.0);
+        assert_eq!(q.probability_sojourn_exceeds(Seconds::new(-1.0)), 1.0);
+        assert_eq!(
+            q.probability_sojourn_exceeds(Seconds::from_millis(-0.1)),
+            1.0
+        );
+        // Positive horizons stay a proper tail: decreasing towards zero.
+        let near = q.probability_sojourn_exceeds(Seconds::new(1e-9));
+        assert!(near < 1.0 && near > 0.999_999);
+        assert!(q.probability_sojourn_exceeds(Seconds::new(1e6)) < 1e-300);
+    }
+
+    #[test]
+    fn near_saturation_stays_finite_and_ordered() {
+        // ρ → 1: the closed forms blow up but must remain finite, positive
+        // and correctly ordered for every representable stable queue.
+        let mu = 10.0;
+        let q = MM1Queue::new(mu * (1.0 - 1e-12), mu).unwrap();
+        let sojourn = q.mean_time_in_system().as_f64();
+        assert!(sojourn.is_finite() && sojourn > 1e10);
+        let aoi = q.mean_aoi_exact().as_f64();
+        assert!(aoi.is_finite() && aoi > 0.0);
+        // Near saturation the AoI is dominated by the queueing term
+        // ρ²/(µ(1−ρ)), which approaches the mean sojourn 1/(µ−λ); the exact
+        // AoI must exceed the sojourn (it adds the 1/µ and 1/λ terms).
+        assert!(aoi > sojourn);
+        assert!(aoi < sojourn * 1.001);
+        // The sojourn tail barely decays over any practical horizon.
+        assert!(q.probability_sojourn_exceeds(Seconds::new(1.0)) > 0.999);
+    }
+
+    #[test]
+    fn low_load_aoi_is_dominated_by_the_interarrival_gap() {
+        // ρ → 0: Δ̄ → 1/λ (a sample ages a full inter-arrival gap before the
+        // next one exists); the queueing term vanishes.
+        let q = MM1Queue::new(1.0, 1e9).unwrap();
+        let aoi = q.mean_aoi_exact().as_f64();
+        assert!((aoi - 1.0).abs() < 1e-6, "Δ̄ {aoi} should approach 1/λ = 1");
     }
 
     #[test]

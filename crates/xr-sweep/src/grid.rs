@@ -139,15 +139,24 @@ pub struct OperatingPoint {
     /// frames each session simulates. `None` keeps the experiment context's
     /// default (20 quick / 100 paper-scale).
     pub frames_per_session: Option<u64>,
+    /// Number of concurrent sessions sharing the tagged session's edge
+    /// server. `None` keeps contention off entirely (the paper's
+    /// private-edge assumption); `Some(1)` routes the edge stage through an
+    /// M/M/1 queue occupied by the tagged session alone.
+    pub users_per_edge: Option<u32>,
+    /// Per-session frame rate override in Hz. `None` keeps the scenario
+    /// default (30 fps). Contention sweeps pin this low so the shared edge
+    /// queue has headroom for a multi-user population before `ρ = 1`.
+    pub frame_rate_hz: Option<f64>,
 }
 
-/// A campaign grid: the cartesian product of seven axes, enumerated in a
-/// fixed row-major order (campaign size, device, wireless, mobility,
-/// execution, CPU clock, frame size — frame size varies fastest, matching
-/// the Fig. 4 panel layout), plus the per-point replication count (how many
-/// independently seeded sessions each operating point is measured with —
-/// not an enumeration axis, the collector aggregates replications into one
-/// row).
+/// A campaign grid: the cartesian product of nine axes, enumerated in a
+/// fixed row-major order (edge population, frame rate, campaign size,
+/// device, wireless, mobility, execution, CPU clock, frame size — frame
+/// size varies fastest, matching the Fig. 4 panel layout), plus the
+/// per-point replication count (how many independently seeded sessions each
+/// operating point is measured with — not an enumeration axis, the
+/// collector aggregates replications into one row).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepGrid {
     frame_sizes: Vec<f64>,
@@ -160,6 +169,14 @@ pub struct SweepGrid {
     /// the context default. The axis opens training-set scaling studies:
     /// sweeping it plots estimator precision against campaign size.
     frames_per_session: Vec<Option<u64>>,
+    /// Edge-population axis: how many concurrent sessions share the tagged
+    /// session's edge server. `None` entries keep contention off (the
+    /// paper's private-edge assumption). Sweeping it plots the latency knee
+    /// against the tenant population.
+    users_per_edge: Vec<Option<u32>>,
+    /// Per-session frame-rate axis in Hz; `None` entries keep the scenario
+    /// default (30 fps).
+    frame_rates: Vec<Option<f64>>,
     replications: usize,
 }
 
@@ -176,6 +193,8 @@ impl SweepGrid {
             wireless: vec![WirelessCondition::baseline()],
             mobility: vec![MobilityCondition::static_device()],
             frames_per_session: vec![None],
+            users_per_edge: vec![None],
+            frame_rates: vec![None],
             replications: 1,
         }
     }
@@ -231,6 +250,23 @@ impl SweepGrid {
         self
     }
 
+    /// Replaces the edge-population axis: each value is a number of
+    /// concurrent sessions sharing the tagged session's edge server (values
+    /// clamped to at least 1 user — the tagged session itself).
+    #[must_use]
+    pub fn with_users_per_edge(mut self, users: impl Into<Vec<u32>>) -> Self {
+        self.users_per_edge = users.into().into_iter().map(|u| Some(u.max(1))).collect();
+        self
+    }
+
+    /// Replaces the per-session frame-rate axis (Hz). Non-positive rates are
+    /// rejected later, when the operating point is turned into a scenario.
+    #[must_use]
+    pub fn with_frame_rates(mut self, rates: impl Into<Vec<f64>>) -> Self {
+        self.frame_rates = rates.into().into_iter().map(Some).collect();
+        self
+    }
+
     /// Sets the per-point replication count (clamped to at least 1).
     #[must_use]
     pub fn with_replications(mut self, replications: usize) -> Self {
@@ -255,6 +291,8 @@ impl SweepGrid {
             * self.wireless.len()
             * self.mobility.len()
             * self.frames_per_session.len()
+            * self.users_per_edge.len()
+            * self.frame_rates.len()
     }
 
     /// `true` when any axis is empty.
@@ -279,24 +317,30 @@ impl SweepGrid {
         }
         let mut points = Vec::with_capacity(self.len());
         let mut index = 0usize;
-        for &frames_per_session in &self.frames_per_session {
-            for device in &self.devices {
-                for wireless in &self.wireless {
-                    for mobility in &self.mobility {
-                        for &execution in &self.executions {
-                            for &clock in &self.cpu_clocks {
-                                for &size in &self.frame_sizes {
-                                    points.push(OperatingPoint {
-                                        index,
-                                        frame_size: size,
-                                        cpu_clock_ghz: clock,
-                                        execution,
-                                        device: device.clone(),
-                                        wireless: wireless.clone(),
-                                        mobility: mobility.clone(),
-                                        frames_per_session,
-                                    });
-                                    index += 1;
+        for &users_per_edge in &self.users_per_edge {
+            for &frame_rate_hz in &self.frame_rates {
+                for &frames_per_session in &self.frames_per_session {
+                    for device in &self.devices {
+                        for wireless in &self.wireless {
+                            for mobility in &self.mobility {
+                                for &execution in &self.executions {
+                                    for &clock in &self.cpu_clocks {
+                                        for &size in &self.frame_sizes {
+                                            points.push(OperatingPoint {
+                                                index,
+                                                frame_size: size,
+                                                cpu_clock_ghz: clock,
+                                                execution,
+                                                device: device.clone(),
+                                                wireless: wireless.clone(),
+                                                mobility: mobility.clone(),
+                                                frames_per_session,
+                                                users_per_edge,
+                                                frame_rate_hz,
+                                            });
+                                            index += 1;
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -383,6 +427,32 @@ mod tests {
         assert_eq!(points[4].frames_per_session, Some(1), "zero clamps to 1");
         assert_eq!(points[2].frame_size, 300.0);
         assert_eq!(points[3].frame_size, 500.0);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+
+    #[test]
+    fn contention_axes_multiply_outermost_and_default_off() {
+        let grid = SweepGrid::paper_panel(ExecutionTarget::Remote)
+            .with_frame_sizes([300.0])
+            .with_cpu_clocks([2.0]);
+        let points = grid.points().unwrap();
+        assert!(points.iter().all(|p| p.users_per_edge.is_none()));
+        assert!(points.iter().all(|p| p.frame_rate_hz.is_none()));
+
+        let grid = grid
+            .with_users_per_edge([1, 4, 0])
+            .with_frame_rates([5.0, 10.0]);
+        assert_eq!(grid.len(), 6, "population × frame-rate axes multiply");
+        let points = grid.points().unwrap();
+        // Population is the outermost axis, frame rate the next: each
+        // population's block is contiguous and spans every frame rate.
+        assert_eq!(points[0].users_per_edge, Some(1));
+        assert_eq!(points[0].frame_rate_hz, Some(5.0));
+        assert_eq!(points[1].frame_rate_hz, Some(10.0));
+        assert_eq!(points[2].users_per_edge, Some(4));
+        assert_eq!(points[4].users_per_edge, Some(1), "zero clamps to 1 user");
         for (i, p) in points.iter().enumerate() {
             assert_eq!(p.index, i);
         }

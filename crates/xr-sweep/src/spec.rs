@@ -16,6 +16,8 @@
 //! wireless     = baseline, cell-edge:60:40   # label:distance_m:throughput_mbps
 //! mobility     = static, vehicle:20:15       # label:speed_mps:radius_m
 //! frames_per_session = 20, 80                # measurement-campaign sizes
+//! users_per_edge = 1, 2, 4                   # sessions sharing the edge server
+//! frame_rates  = 5                           # per-session frame rate (Hz)
 //! replications = 5
 //! ```
 //!
@@ -236,6 +238,29 @@ pub fn parse_grid_spec(text: &str) -> Result<SweepGrid> {
                     })
                     .collect::<Result<Vec<_>>>()?,
             ),
+            "users_per_edge" => grid.with_users_per_edge(
+                tokens
+                    .iter()
+                    .map(|t| {
+                        let users = t.parse::<u32>().map_err(|_| {
+                            spec_error(
+                                line_number,
+                                format!("users_per_edge: `{t}` is not a positive integer"),
+                            )
+                        })?;
+                        if users == 0 {
+                            return Err(spec_error(
+                                line_number,
+                                "users_per_edge: must be at least 1",
+                            ));
+                        }
+                        Ok(users)
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+            "frame_rates" => {
+                grid.with_frame_rates(parse_positive_floats(line_number, key, &tokens)?)
+            }
             "replications" => {
                 if tokens.len() != 1 {
                     return Err(spec_error(line_number, "replications: expected one value"));
@@ -256,7 +281,8 @@ pub fn parse_grid_spec(text: &str) -> Result<SweepGrid> {
                     line_number,
                     format!(
                         "unknown key `{key}` (expected frame_sizes, cpu_clocks, executions, \
-                         devices, wireless, mobility, frames_per_session, or replications)"
+                         devices, wireless, mobility, frames_per_session, users_per_edge, \
+                         frame_rates, or replications)"
                     ),
                 ))
             }
@@ -313,6 +339,29 @@ mod tests {
     }
 
     #[test]
+    fn contention_keys_parse_into_the_new_axes() {
+        let spec = "
+            frame_sizes = 300
+            cpu_clocks = 2.0
+            executions = remote
+            users_per_edge = 1, 2, 6
+            frame_rates = 5
+        ";
+        let grid = parse_grid_spec(spec).unwrap();
+        assert_eq!(grid.len(), 3);
+        let points = grid.points().unwrap();
+        assert_eq!(points[0].users_per_edge, Some(1));
+        assert_eq!(points[1].users_per_edge, Some(2));
+        assert_eq!(points[2].users_per_edge, Some(6));
+        assert!(points.iter().all(|p| p.frame_rate_hz == Some(5.0)));
+        // Without the keys both axes stay off.
+        let plain = parse_grid_spec("frame_sizes = 300\n").unwrap();
+        let points = plain.points().unwrap();
+        assert!(points.iter().all(|p| p.users_per_edge.is_none()));
+        assert!(points.iter().all(|p| p.frame_rate_hz.is_none()));
+    }
+
+    #[test]
     fn unspecified_axes_keep_paper_defaults() {
         let grid = parse_grid_spec("replications = 2\n").unwrap();
         assert_eq!(grid.replications(), 2);
@@ -347,6 +396,12 @@ mod tests {
         assert!(err("mobility = vehicle:fast:15").contains("not a number"));
         assert!(err("frames_per_session = 0").contains("must be at least 1"));
         assert!(err("frames_per_session = many").contains("not a positive integer"));
+        assert!(err("users_per_edge = 0").contains("users_per_edge: must be at least 1"));
+        assert!(err("users_per_edge = 2.5").contains("`2.5` is not a positive integer"));
+        assert!(err("users_per_edge = -3").contains("`-3` is not a positive integer"));
+        assert!(err("users_per_edge = many").contains("`many` is not a positive integer"));
+        assert!(err("frame_rates = 0").contains("must be positive"));
+        assert!(err("frame_rates = fast").contains("`fast` is not a number"));
         assert!(err("replications = 0").contains("must be at least 1"));
         assert!(err("replications = 2, 3").contains("expected one value"));
         assert!(err("replications = two").contains("not a positive integer"));

@@ -50,7 +50,7 @@
 
 use crate::laws::DeviceBias;
 use crate::simulator::{
-    stream, GroundTruthFrame, GroundTruthSession, SessionState, TestbedSimulator,
+    stream, ContentionPlan, GroundTruthFrame, GroundTruthSession, SessionState, TestbedSimulator,
 };
 use rand_distr::{column, Distribution, Exp, Normal};
 use xr_core::Scenario;
@@ -114,6 +114,9 @@ struct BatchConsts {
     // Stage 6 — uplink + edge: per server, (weighted inference base,
     // transmission base).
     edges: Vec<(Seconds, Seconds)>,
+    // Stage 6, contended mode — the shared sampling plan of the multi-tenant
+    // M/M/1 queues (`None` keeps the private-edge path).
+    contention: Option<ContentionPlan>,
     // Stage 7 — handoff.
     mobile: bool,
     window: Seconds,
@@ -133,11 +136,11 @@ struct BatchConsts {
     /// `mix(session_seed, stage_id)` per stage — the first half of
     /// [`stage_stream_seed`], hoisted so the per-frame stream derivation is
     /// a single `mix` against the frame index.
-    stage_seed_base: [u64; 11],
+    stage_seed_base: [u64; 12],
 }
 
 impl BatchConsts {
-    fn new(simulator: &TestbedSimulator, scenario: &Scenario) -> Self {
+    fn new(simulator: &TestbedSimulator, scenario: &Scenario) -> Result<Self> {
         let client = &scenario.client;
         let bias = DeviceBias::for_device(&client.name);
         let c_true = simulator.laws.compute_resource(
@@ -237,7 +240,7 @@ impl BatchConsts {
                 TestbedSimulator::segment_included(scenario, segment, uses_local, uses_edge);
         }
 
-        Self {
+        Ok(Self {
             noise: (simulator.noise_sigma > 0.0)
                 .then(|| Normal::new(0.0, simulator.noise_sigma).expect("valid sigma")),
             generation_base: frame.frame_rate.period()
@@ -260,6 +263,7 @@ impl BatchConsts {
                     * client_share
             }),
             edges,
+            contention: simulator.contention_plan(scenario)?,
             mobile,
             window,
             handoff_base,
@@ -273,7 +277,7 @@ impl BatchConsts {
             stage_seed_base: std::array::from_fn(|stage| {
                 xr_types::seed::mix(simulator.seed, stage as u64)
             }),
-        }
+        })
     }
 
     /// One multiplicative noise factor, drawing from `rng` exactly like the
@@ -487,7 +491,7 @@ impl TestbedSimulator {
         }
         scenario.validate()?;
         let width = width.max(1) as u64;
-        let consts = BatchConsts::new(self, scenario);
+        let consts = BatchConsts::new(self, scenario)?;
         let mut session = SessionState::new(self, scenario);
         let mut batch = FrameBatch::new();
         let mut draws = DrawColumns::new();
@@ -624,8 +628,32 @@ impl TestbedSimulator {
     /// uplink. Per edge server: one noise-factor column (two words per
     /// frame, when noisy) then one wireless-jitter column, matching the
     /// scalar's per-frame word order.
+    ///
+    /// In contended mode the remote term instead consumes one exponential
+    /// sojourn column per server from the dedicated
+    /// [`stream::CONTENTION`] streams (noise-free, pinning the mean to the
+    /// M/M/1 closed form), while the wireless jitter keeps its own
+    /// [`stream::UPLINK_EDGE`] columns — per stream, the per-frame word
+    /// order is exactly the scalar's server order.
     fn batch_uplink_and_edge(&self, k: &BatchConsts, b: &mut FrameBatch, d: &mut DrawColumns) {
         if k.edges.is_empty() {
+            return;
+        }
+        if let Some(plan) = &k.contention {
+            d.reseed(k, stream::CONTENTION, b);
+            for &(weight, sojourn) in &plan.pairs {
+                d.exp_a(&sojourn);
+                for (remote, &drawn) in b.latency[REMOTE_INFERENCE].iter_mut().zip(&d.fac_a) {
+                    *remote = remote.max(Seconds::new(drawn) * weight);
+                }
+            }
+            d.reseed(k, stream::UPLINK_EDGE, b);
+            for &(_, tx_base) in &k.edges {
+                d.uniform_a(0.0, 0.12);
+                for (tx, &jitter) in b.latency[TRANSMISSION].iter_mut().zip(&d.fac_a) {
+                    *tx = tx.max(tx_base * (1.0 + jitter));
+                }
+            }
             return;
         }
         d.reseed(k, stream::UPLINK_EDGE, b);
@@ -885,6 +913,57 @@ mod tests {
         let mut broken = s;
         broken.updates_per_frame = 0;
         assert!(testbed.simulate_session_batched(&broken, 5, 8).is_err());
+    }
+
+    #[test]
+    fn contended_batches_match_the_scalar_reference_bit_for_bit() {
+        // The contended edge stage reroutes the remote term through the
+        // CONTENTION streams; every width (including tails) must still
+        // reproduce the scalar reference exactly, for full and split
+        // offloading and for a noiseless simulator.
+        let testbed = TestbedSimulator::new(31);
+        for target in [
+            ExecutionTarget::Remote,
+            ExecutionTarget::Split { client_share: 0.4 },
+        ] {
+            let s = Scenario::builder()
+                .execution(target)
+                .frame_side(300.0)
+                .frame_rate(xr_types::Hertz::new(5.0))
+                .contention(3)
+                .build()
+                .unwrap();
+            let scalar = testbed.simulate_session_scalar(&s, 41).unwrap();
+            for width in [1, 2, 5, 41, 64] {
+                let batched = testbed.simulate_session_batched(&s, 41, width).unwrap();
+                assert_eq!(batched, scalar, "{target:?} diverged at width {width}");
+            }
+        }
+        let noiseless = TestbedSimulator::new(32).with_noise(0.0);
+        let s = Scenario::builder()
+            .execution(ExecutionTarget::Remote)
+            .frame_side(300.0)
+            .frame_rate(xr_types::Hertz::new(5.0))
+            .contention(5)
+            .build()
+            .unwrap();
+        let scalar = noiseless.simulate_session_scalar(&s, 17).unwrap();
+        let batched = noiseless.simulate_session_batched(&s, 17, 6).unwrap();
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn contended_saturation_errors_identically_in_both_engines() {
+        let testbed = TestbedSimulator::new(33);
+        let s = Scenario::builder()
+            .execution(ExecutionTarget::Remote)
+            .contention(100_000)
+            .build()
+            .unwrap();
+        let scalar = testbed.simulate_session_scalar(&s, 3).unwrap_err();
+        let batched = testbed.simulate_session_batched(&s, 3, 2).unwrap_err();
+        assert!(matches!(scalar, xr_types::Error::UnstableQueue { .. }));
+        assert!(matches!(batched, xr_types::Error::UnstableQueue { .. }));
     }
 
     #[test]

@@ -53,4 +53,6 @@ pub use batch::{SimulationEngine, DEFAULT_BATCH_WIDTH};
 pub use dataset::{CalibratedModels, MeasurementCampaign, MeasurementDataset};
 pub use laws::{DeviceBias, TrueLaws};
 pub use power::{PowerMonitor, PowerTrace};
-pub use simulator::{GroundTruthFrame, GroundTruthSession, SessionState, TestbedSimulator};
+pub use simulator::{
+    ContentionSnapshot, GroundTruthFrame, GroundTruthSession, SessionState, TestbedSimulator,
+};

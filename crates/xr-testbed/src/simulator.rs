@@ -25,7 +25,11 @@
 //! 4. **encode** — frame conversion (local path) / H.264 encoding (edge path);
 //! 5. **local inference** — the on-device CNN share;
 //! 6. **uplink + edge compute** — wireless transmission and remote
-//!    decode/infer over every edge server;
+//!    decode/infer over every edge server; with multi-tenant contention
+//!    enabled ([`xr_core::ContentionConfig`]), the decode/infer term is a
+//!    sojourn drawn from the aggregate M/M/1 queue of
+//!    [`xr_queueing::EdgeContention`] on its own [`stream::CONTENTION`]
+//!    stream;
 //! 7. **handoff** — mobility: in a session, a stateful [`RandomWalker`]
 //!    advances one frame window and every coverage-boundary crossing is a
 //!    real handoff event; for a standalone frame (no [`SessionState`]
@@ -50,6 +54,7 @@ use rand_distr::{Distribution, Exp, Normal};
 use serde::{Deserialize, Serialize};
 use xr_core::Scenario;
 use xr_devices::DeviceCatalog;
+use xr_queueing::EdgeContention;
 use xr_stats::Summary;
 use xr_types::seed::stage_stream_seed;
 use xr_types::{Joules, Ratio, Result, Seconds, Segment, Watts, SPEED_OF_LIGHT};
@@ -85,6 +90,10 @@ pub mod stream {
     /// Session-scoped stream of the mobility walker (frame index 0: the
     /// walker lives across frames and owns one stream per session).
     pub const WALKER: u64 = 10;
+    /// Stage 6, contended mode — the tagged session's M/M/1 sojourn at each
+    /// shared edge server. A separate stream (not [`UPLINK_EDGE`]) so the
+    /// wireless jitter draws keep their position when contention toggles.
+    pub const CONTENTION: u64 = 11;
 }
 
 /// Ground-truth measurements for one frame.
@@ -367,6 +376,101 @@ impl TestbedSimulator {
         }
     }
 
+    /// The deterministic per-frame service time of edge server `index` at
+    /// this operating point: remote CNN inference + memory transfer + H.264
+    /// decode — exactly the noise-free factor of the uncontended edge stage,
+    /// and the `1/µ` the multi-tenant contention queue is built on.
+    pub(crate) fn edge_service_time(
+        &self,
+        scenario: &Scenario,
+        index: usize,
+        client_resource: f64,
+        encode_work: f64,
+    ) -> Seconds {
+        let server = &scenario.edge_servers[index];
+        let c_edge = self.edge_resource(scenario, index, client_resource);
+        let remote_complexity = self.laws.cnn_complexity(&scenario.remote_cnn);
+        let decode = Self::ms(encode_work * self.laws.decode_discount(), c_edge);
+        Self::ms(
+            scenario.frame.encoded_size.as_f64() * remote_complexity,
+            c_edge,
+        ) + scenario.frame.encoded_data / server.memory_bandwidth
+            + decode
+    }
+
+    /// Resolves the scenario's multi-tenant contention into one aggregate
+    /// M/M/1 queue per edge server: arrival rate `users_per_edge × frame
+    /// rate`, service rate the reciprocal of the noise-free edge service
+    /// time (remote inference + memory transfer + decode).
+    ///
+    /// Returns `Ok(None)` when the scenario has no contention configured or
+    /// never touches an edge server (local execution, no servers) — the
+    /// pipeline then keeps the paper's private-edge behaviour bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`xr_types::Error::UnstableQueue`] when the offered load of
+    /// the population saturates an edge server (`ρ ≥ 1`).
+    pub fn contention_snapshot(&self, scenario: &Scenario) -> Result<Option<ContentionSnapshot>> {
+        let Some(config) = scenario.contention else {
+            return Ok(None);
+        };
+        if !scenario.execution.uses_edge() || scenario.edge_servers.is_empty() {
+            return Ok(None);
+        }
+        let client = &scenario.client;
+        let bias = DeviceBias::for_device(&client.name);
+        let c_true =
+            self.laws
+                .compute_resource(client.cpu_clock, client.gpu_clock, client.cpu_share, bias);
+        let encode_work = self
+            .laws
+            .encoding_work(&scenario.encoding, &scenario.frame, bias);
+        let total_share: f64 = scenario.edge_servers.iter().map(|srv| srv.task_share).sum();
+        let edge_share = scenario.execution.edge_share();
+        let per_session_rate = scenario.frame.frame_rate.as_f64();
+        let mut servers = Vec::with_capacity(scenario.edge_servers.len());
+        for (i, server) in scenario.edge_servers.iter().enumerate() {
+            let weight = if total_share > 0.0 {
+                server.task_share / total_share * edge_share
+            } else {
+                0.0
+            };
+            let service = self.edge_service_time(scenario, i, c_true, encode_work);
+            let contention = EdgeContention::new(config.users_per_edge, per_session_rate, service)?;
+            servers.push((weight, contention));
+        }
+        Ok(Some(ContentionSnapshot {
+            users: config.users_per_edge,
+            servers,
+        }))
+    }
+
+    /// The per-frame sampling plan of the contended edge stage, shared by
+    /// the scalar and batched engines so the two cannot drift: per server,
+    /// the tagged session's task-share weight and the exponential sojourn
+    /// distribution with rate `µ − λ`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TestbedSimulator::contention_snapshot`] errors.
+    pub(crate) fn contention_plan(&self, scenario: &Scenario) -> Result<Option<ContentionPlan>> {
+        let Some(snapshot) = self.contention_snapshot(scenario)? else {
+            return Ok(None);
+        };
+        let pairs = snapshot
+            .servers
+            .iter()
+            .map(|(weight, contention)| {
+                (
+                    *weight,
+                    Exp::new(contention.sojourn_rate()).expect("stable queue has a positive rate"),
+                )
+            })
+            .collect();
+        Ok(Some(ContentionPlan { pairs }))
+    }
+
     /// Whether `segment` runs on the compute rail (CPU/GPU work that feeds
     /// the thermal share) as opposed to a radio rail — the classification
     /// shared by the scalar finalizer and the batched engine's precomputed
@@ -449,13 +553,14 @@ impl TestbedSimulator {
         session: &mut SessionState,
     ) -> Result<GroundTruthFrame> {
         scenario.validate()?;
+        let contention = self.contention_plan(scenario)?;
         let mut state = FrameState::new(self, scenario, frame_index);
         self.stage_generate(&mut state);
         self.stage_sense(&mut state);
         self.stage_buffer(&mut state);
         self.stage_encode(&mut state);
         self.stage_local_inference(&mut state);
-        self.stage_uplink_and_edge(&mut state);
+        self.stage_uplink_and_edge(&mut state, contention.as_ref());
         self.stage_handoff(&mut state, session);
         self.stage_render(&mut state);
         self.stage_cooperate(&mut state);
@@ -557,36 +662,60 @@ impl TestbedSimulator {
 
     /// Stage 6 — uplink transmission and remote inference: weighted-slowest
     /// edge server (decode + infer) and slowest uplink.
-    fn stage_uplink_and_edge(&self, s: &mut FrameState<'_>) {
+    ///
+    /// With a [`ContentionPlan`] the decode/infer term becomes a sojourn
+    /// (waiting + service) drawn from the shared queue's dedicated
+    /// [`stream::CONTENTION`] stream — with **no** measurement-noise factor,
+    /// so the empirical mean stays pinned to the M/M/1 closed form the
+    /// property tests check — while the uplink keeps its jitter draw from
+    /// the [`stream::UPLINK_EDGE`] stream.
+    fn stage_uplink_and_edge(&self, s: &mut FrameState<'_>, contention: Option<&ContentionPlan>) {
         let mut rng = self.stage_rng(stream::UPLINK_EDGE, s.frame_index);
         let scenario = s.scenario;
         let frame = &scenario.frame;
-        let remote_complexity = self.laws.cnn_complexity(&scenario.remote_cnn);
         let mut remote = Seconds::ZERO;
         let mut transmission = Seconds::ZERO;
         if s.uses_edge && !scenario.edge_servers.is_empty() {
-            let total_share: f64 = scenario.edge_servers.iter().map(|srv| srv.task_share).sum();
-            for (i, server) in scenario.edge_servers.iter().enumerate() {
-                let c_edge = self.edge_resource(scenario, i, s.c_true);
-                let weight = if total_share > 0.0 {
-                    server.task_share / total_share * s.edge_share
-                } else {
-                    0.0
-                };
-                let decode = Self::ms(s.encode_work * self.laws.decode_discount(), c_edge);
-                let infer = Self::ms(frame.encoded_size.as_f64() * remote_complexity, c_edge)
-                    + frame.encoded_data / server.memory_bandwidth
-                    + decode;
-                remote = remote.max(infer * weight * self.noise(&mut rng));
+            if let Some(plan) = contention {
+                let mut contention_rng = self.stage_rng(stream::CONTENTION, s.frame_index);
+                for (&(weight, sojourn), server) in plan.pairs.iter().zip(&scenario.edge_servers) {
+                    let drawn = Seconds::new(sojourn.sample(&mut contention_rng));
+                    remote = remote.max(drawn * weight);
 
-                let link = WirelessLink::new(server.technology, server.distance);
-                let link = match server.throughput {
-                    Some(t) => link.with_throughput(t),
-                    None => link,
-                };
-                let wireless_jitter = 1.0 + rng.gen_range(0.0..0.12);
-                let tx = link.transmission_latency(frame.encoded_data) * wireless_jitter;
-                transmission = transmission.max(tx);
+                    let link = WirelessLink::new(server.technology, server.distance);
+                    let link = match server.throughput {
+                        Some(t) => link.with_throughput(t),
+                        None => link,
+                    };
+                    let wireless_jitter = 1.0 + rng.gen_range(0.0..0.12);
+                    let tx = link.transmission_latency(frame.encoded_data) * wireless_jitter;
+                    transmission = transmission.max(tx);
+                }
+            } else {
+                let remote_complexity = self.laws.cnn_complexity(&scenario.remote_cnn);
+                let total_share: f64 = scenario.edge_servers.iter().map(|srv| srv.task_share).sum();
+                for (i, server) in scenario.edge_servers.iter().enumerate() {
+                    let c_edge = self.edge_resource(scenario, i, s.c_true);
+                    let weight = if total_share > 0.0 {
+                        server.task_share / total_share * s.edge_share
+                    } else {
+                        0.0
+                    };
+                    let decode = Self::ms(s.encode_work * self.laws.decode_discount(), c_edge);
+                    let infer = Self::ms(frame.encoded_size.as_f64() * remote_complexity, c_edge)
+                        + frame.encoded_data / server.memory_bandwidth
+                        + decode;
+                    remote = remote.max(infer * weight * self.noise(&mut rng));
+
+                    let link = WirelessLink::new(server.technology, server.distance);
+                    let link = match server.throughput {
+                        Some(t) => link.with_throughput(t),
+                        None => link,
+                    };
+                    let wireless_jitter = 1.0 + rng.gen_range(0.0..0.12);
+                    let tx = link.transmission_latency(frame.encoded_data) * wireless_jitter;
+                    transmission = transmission.max(tx);
+                }
             }
         }
         s.latency[Segment::RemoteInference.slot()] = remote;
@@ -825,6 +954,74 @@ impl SessionState {
     pub fn walker(&self) -> Option<&RandomWalker> {
         self.walker.as_ref()
     }
+}
+
+/// The resolved multi-tenant contention state of one scenario: per edge
+/// server, the tagged session's task-share weight and the aggregate M/M/1
+/// queue shared by the whole population. Produced by
+/// [`TestbedSimulator::contention_snapshot`]; campaigns read utilisation and
+/// expected contention delay from it without running any frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionSnapshot {
+    users: u32,
+    servers: Vec<(f64, EdgeContention)>,
+}
+
+impl ContentionSnapshot {
+    /// Number of sessions sharing each edge server.
+    #[must_use]
+    pub fn users(&self) -> u32 {
+        self.users
+    }
+
+    /// Per edge server (scenario order): the tagged session's weight and
+    /// the shared queue.
+    #[must_use]
+    pub fn servers(&self) -> &[(f64, EdgeContention)] {
+        &self.servers
+    }
+
+    /// The most utilised edge queue — where the latency knee appears first.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a snapshot always holds at least one server.
+    #[must_use]
+    pub fn bottleneck(&self) -> &EdgeContention {
+        self.servers
+            .iter()
+            .map(|(_, contention)| contention)
+            .max_by(|a, b| a.utilization().total_cmp(&b.utilization()))
+            .expect("snapshot always holds at least one server")
+    }
+
+    /// Utilisation `ρ` of the bottleneck queue.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.bottleneck().utilization()
+    }
+
+    /// Expected contended remote-inference latency of the tagged session:
+    /// the largest weighted mean sojourn across servers (exact for one
+    /// server, a lower bound on the expected per-frame max for several).
+    #[must_use]
+    pub fn mean_contention_delay(&self) -> Seconds {
+        self.servers
+            .iter()
+            .fold(Seconds::ZERO, |acc, &(weight, contention)| {
+                acc.max(contention.mean_sojourn() * weight)
+            })
+    }
+}
+
+/// The per-frame sampling plan the contended edge stage executes: per edge
+/// server, the tagged session's weight and the exponential sojourn
+/// distribution with rate `µ − λ`. Both engines obtain it through
+/// [`TestbedSimulator::contention_plan`] (the scalar reference per frame,
+/// the batched engine once per session), so they cannot drift.
+#[derive(Debug, Clone)]
+pub(crate) struct ContentionPlan {
+    pub(crate) pairs: Vec<(f64, Exp)>,
 }
 
 /// Per-frame working state of the staged pipeline: the frame's position in
@@ -1095,6 +1292,96 @@ mod tests {
         .abs();
         assert!(gap < 1e-12);
         assert!(testbed.laws().edge_speedup > 1.0);
+    }
+
+    fn contended_scenario(users: u32) -> Scenario {
+        // A small frame at a relaxed frame rate: the default edge then hosts
+        // ~10 sessions before the shared queue saturates, leaving room to
+        // sweep the population on both sides of the knee.
+        Scenario::builder()
+            .execution(ExecutionTarget::Remote)
+            .frame_side(300.0)
+            .frame_rate(xr_types::Hertz::new(5.0))
+            .contention(users)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn contention_snapshot_reports_the_shared_queue() {
+        let testbed = TestbedSimulator::new(11);
+        // No contention configured, or no edge in the loop → no snapshot.
+        assert!(testbed
+            .contention_snapshot(&scenario(500.0, 2.5, ExecutionTarget::Local))
+            .unwrap()
+            .is_none());
+        assert!(testbed
+            .contention_snapshot(&scenario(500.0, 2.5, ExecutionTarget::Remote))
+            .unwrap()
+            .is_none());
+        let local_contended = Scenario::builder().contention(4).build().unwrap();
+        assert!(testbed
+            .contention_snapshot(&local_contended)
+            .unwrap()
+            .is_none());
+
+        let four = testbed
+            .contention_snapshot(&contended_scenario(4))
+            .unwrap()
+            .unwrap();
+        assert_eq!(four.users(), 4);
+        assert_eq!(four.servers().len(), 1);
+        let single = testbed
+            .contention_snapshot(&contended_scenario(1))
+            .unwrap()
+            .unwrap();
+        // Utilisation scales linearly in the population; the delay grows.
+        assert!((four.utilization() / single.utilization() - 4.0).abs() < 1e-9);
+        assert!(four.mean_contention_delay() > single.mean_contention_delay());
+        // The shared service time is the noise-free factor of the edge stage.
+        let (weight, queue) = &single.servers()[0];
+        assert!((*weight - 1.0).abs() < 1e-12);
+        assert!((queue.per_session_rate() - 5.0).abs() < 1e-12);
+        assert!(queue.service_time().as_f64() > 0.0);
+    }
+
+    #[test]
+    fn contended_sessions_slow_the_remote_stage_monotonically() {
+        let testbed = TestbedSimulator::new(12);
+        let single = testbed
+            .contention_snapshot(&contended_scenario(1))
+            .unwrap()
+            .unwrap();
+        // Users at which the shared queue saturates (ρ = 1).
+        let capacity = 1.0 / single.utilization();
+        assert!(capacity > 4.0, "default edge must host a small population");
+        let mut last = Seconds::ZERO;
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        for users in [1u32, (capacity * 0.5) as u32, (capacity * 0.9) as u32] {
+            let session = testbed
+                .simulate_session(&contended_scenario(users), 300)
+                .unwrap();
+            let remote = session.mean_segment_latency(Segment::RemoteInference);
+            assert!(remote > last, "users {users}: {remote} vs {last}");
+            last = remote;
+        }
+        // Past capacity the session refuses to run rather than diverge.
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let over = capacity.ceil() as u32 + 1;
+        let err = testbed
+            .simulate_session(&contended_scenario(over), 4)
+            .unwrap_err();
+        assert!(matches!(err, xr_types::Error::UnstableQueue { .. }));
+    }
+
+    #[test]
+    fn contended_sessions_are_deterministic_per_seed() {
+        let s = contended_scenario(3);
+        let a = TestbedSimulator::new(21).simulate_session(&s, 8).unwrap();
+        let b = TestbedSimulator::new(21).simulate_session(&s, 8).unwrap();
+        let c = TestbedSimulator::new(22).simulate_session(&s, 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 
     #[test]

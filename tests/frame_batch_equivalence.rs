@@ -62,6 +62,7 @@ proptest! {
         seed in 0u64..1_000_000,
         frames in 1u64..64,
         width in 1usize..80,
+        users in prop::sample::select(vec![0u32, 1, 2, 3, 5]),
     ) {
         let scenario = build_scenario(size, clock, share, fps, target, updates, speed, radius);
         let testbed = TestbedSimulator::new(seed);
@@ -84,5 +85,36 @@ proptest! {
             .simulate_session(&scenario, frames)
             .unwrap();
         prop_assert_eq!(&via_engine, &scalar);
+
+        // Multi-tenant contention: the same property with the edge shared
+        // by `users` sessions (0 keeps contention off — covered above).
+        // The frame rate is scaled down so the generator produces a mix of
+        // stable queues and saturated ones; a saturated queue must refuse
+        // to run identically in both engines.
+        if users > 0 {
+            let mut contended =
+                build_scenario(size, clock, share, fps / 6.0, target, updates, speed, radius);
+            contended.contention = Some(xr_core::ContentionConfig { users_per_edge: users });
+            contended.validate().expect("contended scenario is valid");
+            match testbed.simulate_session_scalar(&contended, frames) {
+                Ok(scalar) => {
+                    let batched = testbed
+                        .simulate_session_batched(&contended, frames, width)
+                        .unwrap();
+                    prop_assert!(
+                        batched == scalar,
+                        "contended engines diverged (users {users}, frames {frames}, width {width})"
+                    );
+                }
+                Err(scalar_err) => {
+                    let batched_err = testbed
+                        .simulate_session_batched(&contended, frames, width)
+                        .unwrap_err();
+                    // A saturated queue must error identically in both
+                    // engines.
+                    prop_assert_eq!(format!("{scalar_err:?}"), format!("{batched_err:?}"));
+                }
+            }
+        }
     }
 }

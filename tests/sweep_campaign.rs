@@ -77,6 +77,52 @@ fn replicated_mobility_campaign_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn contention_campaign_is_byte_identical_across_worker_counts_and_runs() {
+    // The multi-tenant grid threads the edge stage through the CONTENTION
+    // RNG streams; the campaign artifact must stay a pure function of
+    // (grid, campaign seed) — identical bytes for every worker count and
+    // across two independent runs of the same context seed.
+    let ctx = ExperimentContext::quick(13).unwrap();
+    let grid = parse_grid_spec(
+        "frame_sizes    = 300\n\
+         cpu_clocks     = 2.0\n\
+         executions     = remote\n\
+         frame_rates    = 5\n\
+         users_per_edge = 1, 4, 8\n\
+         replications   = 3\n",
+    )
+    .unwrap();
+    let reference = csv_lines(&run_campaign_with(&ctx, &grid, &CampaignRunner::new(1)).unwrap());
+    assert_eq!(reference.len(), grid.len() + 1);
+    for workers in [2, 5] {
+        let rows = run_campaign_with(&ctx, &grid, &CampaignRunner::new(workers)).unwrap();
+        assert_eq!(
+            csv_lines(&rows),
+            reference,
+            "{workers} workers diverged on the contention campaign"
+        );
+    }
+    // A second run from a fresh context with the same seed reproduces the
+    // bytes exactly — the two-run CI diff in miniature.
+    let rerun_ctx = ExperimentContext::quick(13).unwrap();
+    let rerun = csv_lines(&run_campaign_with(&rerun_ctx, &grid, &CampaignRunner::new(3)).unwrap());
+    assert_eq!(rerun, reference, "a repeated run changed the artifact");
+    // The contention columns carry real signal: utilisation scales linearly
+    // with the population and the measured latency rises with it.
+    let rows = run_campaign_with(&ctx, &grid, &CampaignRunner::new(2)).unwrap();
+    assert_eq!(rows.len(), 3);
+    let unit = rows[0].edge_utilization;
+    assert!(unit > 0.0);
+    for row in &rows {
+        let users = row.point.users_per_edge.expect("contended point");
+        assert!((row.edge_utilization - unit * f64::from(users)).abs() < 1e-9);
+        assert!(row.gt_contention_ms_mean > 0.0);
+    }
+    assert!(rows[1].gt_latency_ms.mean > rows[0].gt_latency_ms.mean);
+    assert!(rows[2].gt_latency_ms.mean > rows[1].gt_latency_ms.mean);
+}
+
+#[test]
 fn mobility_sweep_is_worker_count_invariant() {
     let ctx = ExperimentContext::quick(9).unwrap();
     let reference = mobility_sweep_with(&ctx, &CampaignRunner::new(1)).unwrap();
