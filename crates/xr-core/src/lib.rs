@@ -59,5 +59,5 @@ pub use offload::{Objective, OffloadCandidate, OffloadPlan, OffloadPlanner};
 pub use report::{PerformanceReport, XrPerformanceModel};
 pub use scenario::{
     BufferConfig, ClientConfig, ContentionConfig, CooperationConfig, EdgeServerConfig,
-    MobilityConfig, Scenario, ScenarioBuilder, SensorConfig,
+    MobilityConfig, Scenario, ScenarioBuilder, SensorConfig, TopologyConfig,
 };

@@ -14,7 +14,8 @@ use serde::{Deserialize, Serialize};
 use xr_devices::{CnnCatalog, CnnModel, DeviceCatalog};
 use xr_types::{
     Error, ExecutionTarget, Frame, FrameId, GigaBytesPerSecond, GigaHertz, Hertz,
-    MegaBitsPerSecond, MegaBytes, Meters, MetersPerSecond, Ratio, Result, SegmentSet,
+    MegaBitsPerSecond, MegaBytes, Meters, MetersPerSecond, MigrationPolicy, Ratio, Result,
+    SegmentSet, TopologyLayout,
 };
 use xr_wireless::{AccessTechnology, HandoffKind};
 
@@ -165,6 +166,28 @@ pub struct ContentionConfig {
     pub users_per_edge: u32,
 }
 
+/// A multi-edge service-area topology for the session to roam across.
+///
+/// When present on a [`Scenario`], the testbed replaces the paper's single
+/// coverage zone with an `xr-wireless` `EdgeTopology`: a map of edge sites
+/// whose per-site coverage radius follows from `site_density`, whose tenant
+/// populations cycle around [`ContentionConfig::users_per_edge`] (when
+/// contention is configured), and between which boundary crossings become
+/// inter-site **state migrations** priced by `migration_policy`. `None`
+/// keeps the legacy single-zone mobility model byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// The site-layout family of the map.
+    pub layout: TopologyLayout,
+    /// Edge-site density in sites per square kilometre; fixes the lattice
+    /// spacing and with it every site's coverage radius (tiled layouts
+    /// ignore [`MobilityConfig::coverage_radius`]). Ignored by
+    /// [`TopologyLayout::Single`], which reuses the mobility radius.
+    pub site_density: f64,
+    /// How session state follows the device across an inter-site handoff.
+    pub migration_policy: MigrationPolicy,
+}
+
 /// Device mobility and handoff parameters (Eq. 17).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MobilityConfig {
@@ -243,6 +266,9 @@ pub struct Scenario {
     /// Multi-tenant edge contention; `None` keeps the paper's private-edge
     /// assumption.
     pub contention: Option<ContentionConfig>,
+    /// Multi-edge service-area topology; `None` keeps the paper's
+    /// single-coverage-zone mobility model.
+    pub topology: Option<TopologyConfig>,
     /// Which segments are included in the end-to-end totals.
     pub segments: SegmentSet,
 }
@@ -329,6 +355,16 @@ impl Scenario {
                 ));
             }
         }
+        if let Some(topology) = self.topology {
+            if topology.layout != TopologyLayout::Single
+                && !(topology.site_density.is_finite() && topology.site_density > 0.0)
+            {
+                return Err(Error::invalid_parameter(
+                    "site_density",
+                    "must be a positive number of sites per km²",
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -350,6 +386,7 @@ pub struct ScenarioBuilder {
     mobility: MobilityConfig,
     cooperation: CooperationConfig,
     contention: Option<ContentionConfig>,
+    topology: Option<TopologyConfig>,
     segments: SegmentSet,
 }
 
@@ -386,6 +423,7 @@ impl ScenarioBuilder {
             mobility: MobilityConfig::default(),
             cooperation: CooperationConfig::default(),
             contention: None,
+            topology: None,
             segments: SegmentSet::standard(),
         }
     }
@@ -531,6 +569,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Spreads the session over a multi-edge topology; boundary crossings
+    /// then migrate the session between edge sites instead of re-entering
+    /// one zone.
+    #[must_use]
+    pub fn topology(mut self, topology: TopologyConfig) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
     /// Overrides the segment set included in the totals.
     #[must_use]
     pub fn segments(mut self, segments: SegmentSet) -> Self {
@@ -559,6 +606,7 @@ impl ScenarioBuilder {
             mobility: self.mobility,
             cooperation: self.cooperation,
             contention: self.contention,
+            topology: self.topology,
             segments: self.segments,
         };
         scenario.validate()?;
@@ -682,6 +730,45 @@ mod tests {
         let err = Scenario::builder().contention(0).build().unwrap_err();
         assert!(matches!(err, Error::InvalidParameter { .. }));
         assert!(err.to_string().contains("users_per_edge"));
+    }
+
+    #[test]
+    fn topology_defaults_off_and_rejects_bad_density() {
+        let s = Scenario::builder().build().unwrap();
+        assert_eq!(s.topology, None);
+
+        let tiled = Scenario::builder()
+            .execution(ExecutionTarget::Remote)
+            .topology(TopologyConfig {
+                layout: TopologyLayout::Hex,
+                site_density: 400.0,
+                migration_policy: MigrationPolicy::Eager,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(tiled.topology.unwrap().layout, TopologyLayout::Hex);
+
+        for density in [0.0, -25.0, f64::NAN] {
+            let err = Scenario::builder()
+                .topology(TopologyConfig {
+                    layout: TopologyLayout::Square,
+                    site_density: density,
+                    migration_policy: MigrationPolicy::Lazy,
+                })
+                .build()
+                .unwrap_err();
+            assert!(err.to_string().contains("site_density"), "{density}");
+        }
+
+        // The single layout reuses the mobility radius; density is ignored.
+        let single = Scenario::builder()
+            .topology(TopologyConfig {
+                layout: TopologyLayout::Single,
+                site_density: 0.0,
+                migration_policy: MigrationPolicy::Eager,
+            })
+            .build();
+        assert!(single.is_ok());
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! The consolidated campaign binary: sweeps the full nine-axis quick grid
+//! The consolidated campaign binary: sweeps the full twelve-axis quick grid
 //! (frame size × CPU clock × execution target × device × wireless condition
-//! × mobility condition × campaign size × edge population × frame rate,
+//! × mobility condition × campaign size × edge population × frame rate ×
+//! topology layout × site density × migration policy,
 //! with per-point replications)
 //! through the parallel campaign engine and writes one mean-±-CI row per
 //! operating point to `campaign.csv`.
@@ -50,7 +51,7 @@ fn main() {
     let rows = run_campaign(&ctx, &grid).expect("campaign failed");
     let cells: Vec<Vec<String>> = rows.iter().map(|r| r.cells()).collect();
     output::print_experiment(
-        "Consolidated campaign — nine-axis replicated sweep",
+        "Consolidated campaign — twelve-axis replicated sweep",
         &CAMPAIGN_HEADER,
         &cells,
         "campaign.csv",

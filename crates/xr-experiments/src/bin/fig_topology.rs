@@ -1,0 +1,27 @@
+//! Topology figure: edge-to-edge state-migration cost against the
+//! edge-site density of a square tiling, under eager and lazy re-offload
+//! policies, replicated with 95 % confidence intervals through the shared
+//! campaign engine.
+
+use xr_experiments::topology_experiments::{topology_sweep, FIG_TOPOLOGY_HEADER};
+use xr_experiments::{output, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let points = topology_sweep(&ctx).expect("topology sweep failed");
+    let cells: Vec<Vec<String>> = points.iter().map(|p| p.cells()).collect();
+    output::print_experiment(
+        "Topology — migration cost vs edge-site density",
+        &FIG_TOPOLOGY_HEADER,
+        &cells,
+        "fig_topology.csv",
+    );
+    let densest = points.last().expect("densities swept");
+    println!(
+        "{} density × policy points evaluated with {} worker(s); densest tiling visits {} sites at {:.4} ms/frame migration cost",
+        points.len(),
+        ctx.runner().workers(),
+        densest.row.sites_visited,
+        densest.row.gt_migration_ms_mean
+    );
+}

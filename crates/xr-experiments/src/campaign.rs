@@ -1,10 +1,11 @@
-//! Consolidated measurement campaigns over the full nine-axis sweep grid.
+//! Consolidated measurement campaigns over the full twelve-axis sweep grid.
 //!
 //! Where the `figures`/`comparison` modules regenerate individual paper
 //! panels, a *campaign* sweeps every axis the engine knows about — frame
 //! size, CPU clock, execution target, client device, wireless condition,
 //! mobility condition, measurement-campaign size (frames per session),
-//! edge population (`users_per_edge`), per-session frame rate —
+//! edge population (`users_per_edge`), per-session frame rate, edge
+//! topology layout, site density, migration policy —
 //! and measures each operating point with
 //! `grid.replications()` independently seeded testbed sessions, exactly as
 //! the paper's campaign repeats measurements under a moving user. Each row
@@ -20,7 +21,7 @@ use xr_sweep::{CampaignRunner, OperatingPoint, SweepGrid, WirelessCondition};
 use xr_types::{ExecutionTarget, Result};
 
 /// Column header of the consolidated campaign CSV.
-pub const CAMPAIGN_HEADER: [&str; 22] = [
+pub const CAMPAIGN_HEADER: [&str; 27] = [
     "point",
     "device",
     "wireless",
@@ -30,6 +31,9 @@ pub const CAMPAIGN_HEADER: [&str; 22] = [
     "frame_size",
     "frame_rate_hz",
     "users_per_edge",
+    "topology",
+    "site_density",
+    "migration_policy",
     "frames_per_session",
     "replications",
     "gt_latency_ms_mean",
@@ -39,6 +43,8 @@ pub const CAMPAIGN_HEADER: [&str; 22] = [
     "gt_energy_mj_ci95_lo",
     "gt_energy_mj_ci95_hi",
     "gt_handoff_rate",
+    "gt_migration_ms_mean",
+    "sites_visited",
     "edge_utilization",
     "gt_contention_ms_mean",
     "proposed_latency_ms",
@@ -82,6 +88,12 @@ struct RepSample {
     latency_ms: f64,
     energy_mj: f64,
     handoff_rate: f64,
+    /// Mean per-frame edge-to-edge state-migration latency in ms; zero on
+    /// untopologized points.
+    migration_ms: f64,
+    /// Distinct edge sites the session attached to (1 on untopologized
+    /// points).
+    sites_visited: u32,
     /// `(latency_ms, energy_mj)` model prediction, computed only on the
     /// first replication (the model is deterministic per point).
     proposed: Option<(f64, f64)>,
@@ -112,6 +124,12 @@ pub struct CampaignRow {
     /// Ground-truth fraction of frames with a handoff, averaged over
     /// replications.
     pub gt_handoff_rate: f64,
+    /// Ground-truth mean per-frame edge-to-edge state-migration latency
+    /// (ms), averaged over replications; zero on untopologized points.
+    pub gt_migration_ms_mean: f64,
+    /// Maximum number of distinct edge sites any replication's session
+    /// attached to; 1 on untopologized points.
+    pub sites_visited: u32,
     /// Utilisation `ρ` of the bottleneck shared edge queue at this point —
     /// deterministic (offered load over service rate), `0` when the point
     /// runs contention-free.
@@ -149,6 +167,15 @@ impl CampaignRow {
             self.point
                 .users_per_edge
                 .map_or_else(|| "off".to_string(), |users| users.to_string()),
+            self.point
+                .topology
+                .map_or_else(|| "off".to_string(), |layout| layout.to_string()),
+            self.point
+                .site_density
+                .map_or_else(|| "default".to_string(), |density| format!("{density:.0}")),
+            self.point
+                .migration_policy
+                .map_or_else(|| "default".to_string(), |policy| policy.to_string()),
             self.frames_per_session.to_string(),
             self.replications.to_string(),
             format!("{:.3}", self.gt_latency_ms.mean),
@@ -158,6 +185,8 @@ impl CampaignRow {
             format!("{:.3}", self.gt_energy_mj.ci95_lo),
             format!("{:.3}", self.gt_energy_mj.ci95_hi),
             format!("{:.4}", self.gt_handoff_rate),
+            format!("{:.4}", self.gt_migration_ms_mean),
+            self.sites_visited.to_string(),
             format!("{:.4}", self.edge_utilization),
             format!("{:.3}", self.gt_contention_ms_mean),
             format!("{:.3}", self.proposed_latency_ms),
@@ -256,6 +285,8 @@ pub fn run_campaign_streaming_with(
                 latency_ms: session.mean_latency().as_f64() * 1e3,
                 energy_mj: session.mean_energy().as_f64() * 1e3,
                 handoff_rate: session.handoff_rate(),
+                migration_ms: session.mean_migration_latency().as_f64() * 1e3,
+                sites_visited: session.sites_visited(),
                 proposed,
                 contention,
             })
@@ -265,6 +296,9 @@ pub fn run_campaign_streaming_with(
             let energies: Vec<f64> = samples.iter().map(|s| s.energy_mj).collect();
             let handoff_rate =
                 samples.iter().map(|s| s.handoff_rate).sum::<f64>() / samples.len() as f64;
+            let gt_migration_ms_mean =
+                samples.iter().map(|s| s.migration_ms).sum::<f64>() / samples.len() as f64;
+            let sites_visited = samples.iter().map(|s| s.sites_visited).max().unwrap_or(1);
             let (proposed_latency_ms, proposed_energy_mj) = samples[0]
                 .proposed
                 .expect("the first replication carries the model prediction");
@@ -280,6 +314,8 @@ pub fn run_campaign_streaming_with(
                     gt_latency_ms: ReplicateStats::of(&latencies),
                     gt_energy_mj: ReplicateStats::of(&energies),
                     gt_handoff_rate: handoff_rate,
+                    gt_migration_ms_mean,
+                    sites_visited,
                     edge_utilization,
                     gt_contention_ms_mean,
                     proposed_latency_ms,

@@ -169,6 +169,9 @@ impl ExperimentContext {
             frames_per_session: None,
             users_per_edge: None,
             frame_rate_hz: None,
+            topology: None,
+            site_density: None,
+            migration_policy: None,
         })
     }
 
@@ -183,7 +186,10 @@ impl ExperimentContext {
     /// on the `users_per_edge` axis turns multi-tenant edge contention on,
     /// and one on the `frame_rates` axis overrides the per-session frame
     /// rate (which is also the per-session arrival rate the shared edge
-    /// queue sees).
+    /// queue sees). A point on any topology axis (`topology`,
+    /// `site_density`, `migration_policy`) places the session on a
+    /// multi-site edge map: unspecified companion axes default to a square
+    /// tiling at 400 sites/km² with eager state migration.
     ///
     /// # Errors
     ///
@@ -199,6 +205,21 @@ impl ExperimentContext {
         }
         if let Some(users) = point.users_per_edge {
             builder = builder.contention(users);
+        }
+        // Any topology axis turns the multi-site edge map on; unspecified
+        // companions fall back to a square tiling at 400 sites/km² with
+        // eager state migration, so a grid can sweep one axis alone.
+        if point.topology.is_some()
+            || point.site_density.is_some()
+            || point.migration_policy.is_some()
+        {
+            builder = builder.topology(xr_core::TopologyConfig {
+                layout: point.topology.unwrap_or(xr_types::TopologyLayout::Square),
+                site_density: point.site_density.unwrap_or(400.0),
+                migration_policy: point
+                    .migration_policy
+                    .unwrap_or(xr_types::MigrationPolicy::Eager),
+            });
         }
         let mut scenario = builder.build()?;
         for server in &mut scenario.edge_servers {
@@ -283,6 +304,9 @@ mod tests {
             frames_per_session: None,
             users_per_edge: Some(4),
             frame_rate_hz: Some(5.0),
+            topology: None,
+            site_density: None,
+            migration_policy: None,
         };
         let scenario = ctx.scenario_for(&point).unwrap();
         assert_eq!(
@@ -290,12 +314,31 @@ mod tests {
             Some(xr_core::ContentionConfig { users_per_edge: 4 })
         );
         assert!((scenario.frame.frame_rate.as_f64() - 5.0).abs() < 1e-12);
+        assert!(scenario.topology.is_none());
         // The default point keeps contention off and the 30 fps default.
         point.users_per_edge = None;
         point.frame_rate_hz = None;
         let scenario = ctx.scenario_for(&point).unwrap();
         assert!(scenario.contention.is_none());
         assert!((scenario.frame.frame_rate.as_f64() - 30.0).abs() < 1e-12);
+        // Any topology axis turns the edge map on; absent companions fall
+        // back to square/400/eager.
+        point.site_density = Some(900.0);
+        let scenario = ctx.scenario_for(&point).unwrap();
+        assert_eq!(
+            scenario.topology,
+            Some(xr_core::TopologyConfig {
+                layout: xr_types::TopologyLayout::Square,
+                site_density: 900.0,
+                migration_policy: xr_types::MigrationPolicy::Eager,
+            })
+        );
+        point.topology = Some(xr_types::TopologyLayout::Hex);
+        point.migration_policy = Some(xr_types::MigrationPolicy::Lazy);
+        let scenario = ctx.scenario_for(&point).unwrap();
+        let config = scenario.topology.unwrap();
+        assert_eq!(config.layout, xr_types::TopologyLayout::Hex);
+        assert_eq!(config.migration_policy, xr_types::MigrationPolicy::Lazy);
     }
 
     #[test]

@@ -13,10 +13,11 @@
 //! | Fig. 5(a)/(b) comparison with FACT and LEAF | [`comparison`] | `fig5a`, `fig5b` |
 //! | §VIII-A/B mean-error summary | [`errors`] | `error_summary` |
 //! | Eqs. 3/10/12/21 regression fits | [`regression_report`] | `regression_report` |
-//! | Consolidated nine-axis replicated sweep | [`campaign`] | `campaign` |
+//! | Consolidated twelve-axis replicated sweep | [`campaign`] | `campaign` |
 //! | Mobility: latency/handoffs vs speed × radius | [`mobility_experiments`] | `fig_mobility` |
 //! | Training scaling: CI width vs campaign size | [`scaling_experiments`] | `fig_training_scaling` |
 //! | Contention: latency knee vs edge population | [`contention_experiments`] | `fig_contention` |
+//! | Topology: migration cost vs edge-site density | [`topology_experiments`] | `fig_topology` |
 //!
 //! Each binary prints the rows/series the paper reports and writes a CSV
 //! artifact under `target/experiments/`. `run_all` chains everything in
@@ -42,6 +43,7 @@ pub mod output;
 pub mod regression_report;
 pub mod scaling_experiments;
 pub mod tables;
+pub mod topology_experiments;
 
 pub use ablation::{AblationRow, AblationStudy};
 pub use aoi_experiments::{AoiPoint, AoiSweep, RoiPoint};
@@ -54,3 +56,4 @@ pub use figures::{SweepPoint, SweepResult};
 pub use mobility_experiments::MobilityPoint;
 pub use regression_report::RegressionReport;
 pub use scaling_experiments::ScalingPoint;
+pub use topology_experiments::TopologyPoint;

@@ -1,0 +1,202 @@
+//! The topology figure: edge-to-edge migration cost against the edge-site
+//! density.
+//!
+//! The mobility figure keeps the paper's single serving zone — a handoff
+//! teleports the device into a statistically fresh cell. This experiment
+//! places the session on a real [`xr_core::TopologyConfig`] edge map
+//! instead: a square tiling whose site density is swept from sparse
+//! metro-cell spacing to dense street-furniture deployments. Each coverage
+//! crossing that lands inside another site's cell becomes an edge-to-edge
+//! handoff that pays state-migration latency on top of the radio handoff,
+//! under either re-offload policy — *eager* (the full inference state moves
+//! with the session) or *lazy* (only a session stub moves; state faults in
+//! on demand). Denser tilings mean shorter cell residence, more migrations
+//! per second, and a higher per-frame migration bill: the figure traces
+//! that density → latency curve, with the eager policy paying a strictly
+//! higher price than the lazy one at every density.
+
+use crate::campaign::{run_campaign_with, CampaignRow};
+use crate::context::ExperimentContext;
+use xr_sweep::{CampaignRunner, MobilityCondition, SweepGrid};
+use xr_types::{ExecutionTarget, MigrationPolicy, Result, TopologyLayout};
+
+/// Column header of the topology-figure CSV.
+pub const FIG_TOPOLOGY_HEADER: [&str; 11] = [
+    "topology",
+    "site_density",
+    "migration_policy",
+    "replications",
+    "gt_latency_ms_mean",
+    "gt_latency_ms_ci95_lo",
+    "gt_latency_ms_ci95_hi",
+    "gt_handoff_rate",
+    "gt_migration_ms_mean",
+    "sites_visited",
+    "proposed_latency_ms",
+];
+
+/// Edge-site densities swept by the topology figure, in sites/km². Square
+/// tiling puts sites `1000/√density` metres apart: 100 m spacing down to
+/// 20 m.
+pub const TOPOLOGY_SITE_DENSITIES: [f64; 5] = [100.0, 400.0, 900.0, 1600.0, 2500.0];
+/// Device speed (m/s) of every session in the sweep — vehicular, so even
+/// the sparsest tiling sees migrations inside a session.
+pub const TOPOLOGY_SPEED_MPS: f64 = 25.0;
+/// Per-session frame rate (Hz); low, so each frame window covers several
+/// metres of travel.
+pub const TOPOLOGY_FRAME_RATE_HZ: f64 = 5.0;
+/// Frames per session: 200 frames × 0.2 s windows = 40 s of driving
+/// (1 km), enough cell crossings for stable migration statistics.
+pub const TOPOLOGY_FRAMES_PER_SESSION: u64 = 200;
+/// Replications per operating point.
+pub const TOPOLOGY_REPLICATIONS: usize = 5;
+
+/// The density × policy grid behind the topology figure: remote inference
+/// on a vehicular session roaming a square tiling, sweeping
+/// [`TOPOLOGY_SITE_DENSITIES`] under both migration policies with
+/// [`TOPOLOGY_REPLICATIONS`] independently seeded sessions per point.
+#[must_use]
+pub fn topology_grid() -> SweepGrid {
+    SweepGrid::paper_panel(ExecutionTarget::Remote)
+        .with_frame_sizes([300.0])
+        .with_cpu_clocks([2.0])
+        .with_frame_rates([TOPOLOGY_FRAME_RATE_HZ])
+        .with_frames_per_session([TOPOLOGY_FRAMES_PER_SESSION])
+        .with_mobility(vec![MobilityCondition::new(
+            "vehicle",
+            TOPOLOGY_SPEED_MPS,
+            8.0,
+        )])
+        .with_topologies([TopologyLayout::Square])
+        .with_site_densities(TOPOLOGY_SITE_DENSITIES)
+        .with_migration_policies([MigrationPolicy::Eager, MigrationPolicy::Lazy])
+        .with_replications(TOPOLOGY_REPLICATIONS)
+}
+
+/// One row of the topology figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyPoint {
+    /// Edge-site tiling of the map.
+    pub layout: TopologyLayout,
+    /// Edge sites per km².
+    pub site_density: f64,
+    /// State re-offload policy priced on each migration.
+    pub migration_policy: MigrationPolicy,
+    /// The aggregated campaign measurement at this point.
+    pub row: CampaignRow,
+}
+
+impl TopologyPoint {
+    /// CSV/console cells for the output layer.
+    #[must_use]
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.layout.to_string(),
+            format!("{:.0}", self.site_density),
+            self.migration_policy.to_string(),
+            self.row.replications.to_string(),
+            format!("{:.3}", self.row.gt_latency_ms.mean),
+            format!("{:.3}", self.row.gt_latency_ms.ci95_lo),
+            format!("{:.3}", self.row.gt_latency_ms.ci95_hi),
+            format!("{:.4}", self.row.gt_handoff_rate),
+            format!("{:.4}", self.row.gt_migration_ms_mean),
+            self.row.sites_visited.to_string(),
+            format!("{:.3}", self.row.proposed_latency_ms),
+        ]
+    }
+}
+
+/// Runs the topology sweep and returns one point per density × policy in
+/// grid order (density outer, policy inner).
+///
+/// # Errors
+///
+/// Propagates grid, scenario and model errors.
+pub fn topology_sweep(ctx: &ExperimentContext) -> Result<Vec<TopologyPoint>> {
+    topology_sweep_with(ctx, &ctx.runner())
+}
+
+/// [`topology_sweep`] with an explicit runner (determinism tests pin the
+/// worker count).
+///
+/// # Errors
+///
+/// Propagates grid, scenario and model errors.
+pub fn topology_sweep_with(
+    ctx: &ExperimentContext,
+    runner: &CampaignRunner,
+) -> Result<Vec<TopologyPoint>> {
+    let rows = run_campaign_with(ctx, &topology_grid(), runner)?;
+    Ok(rows
+        .into_iter()
+        .map(|row| TopologyPoint {
+            layout: row.point.topology.unwrap_or(TopologyLayout::Square),
+            site_density: row.point.site_density.unwrap_or(400.0),
+            migration_policy: row.point.migration_policy.unwrap_or(MigrationPolicy::Eager),
+            row,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_sweep_traces_the_density_curve() {
+        let ctx = ExperimentContext::quick(29).unwrap();
+        let points = topology_sweep(&ctx).unwrap();
+        assert_eq!(
+            points.len(),
+            TOPOLOGY_SITE_DENSITIES.len() * 2,
+            "density × policy grid"
+        );
+        for point in &points {
+            assert_eq!(point.layout, TopologyLayout::Square);
+            assert_eq!(point.row.replications, TOPOLOGY_REPLICATIONS);
+            assert_eq!(point.row.frames_per_session, TOPOLOGY_FRAMES_PER_SESSION);
+            assert_eq!(point.cells().len(), FIG_TOPOLOGY_HEADER.len());
+            assert!(point.row.gt_handoff_rate > 0.0, "vehicle never crossed");
+            assert!(point.row.gt_migration_ms_mean > 0.0, "no migration priced");
+            assert!(point.row.sites_visited > 1, "session never left its site");
+        }
+        let eager: Vec<&TopologyPoint> = points
+            .iter()
+            .filter(|p| p.migration_policy == MigrationPolicy::Eager)
+            .collect();
+        let lazy: Vec<&TopologyPoint> = points
+            .iter()
+            .filter(|p| p.migration_policy == MigrationPolicy::Lazy)
+            .collect();
+        assert_eq!(eager.len(), TOPOLOGY_SITE_DENSITIES.len());
+        // Denser tilings mean shorter residence and a strictly higher
+        // per-frame migration bill under the eager policy.
+        for pair in eager.windows(2) {
+            assert!(
+                pair[1].row.gt_migration_ms_mean > pair[0].row.gt_migration_ms_mean,
+                "migration cost must grow with density: {} sites/km² {} ms vs {} sites/km² {} ms",
+                pair[1].site_density,
+                pair[1].row.gt_migration_ms_mean,
+                pair[0].site_density,
+                pair[0].row.gt_migration_ms_mean
+            );
+        }
+        // Eager pays more than lazy at every density (same walk, same
+        // migration count, larger per-migration base).
+        for (e, l) in eager.iter().zip(&lazy) {
+            assert_eq!(e.site_density, l.site_density);
+            assert!(
+                e.row.gt_migration_ms_mean > l.row.gt_migration_ms_mean,
+                "eager {} ms ≤ lazy {} ms at {} sites/km²",
+                e.row.gt_migration_ms_mean,
+                l.row.gt_migration_ms_mean,
+                e.site_density
+            );
+        }
+        // More sites get visited as the tiling densifies (endpoints).
+        assert!(
+            eager.last().unwrap().row.sites_visited > eager[0].row.sites_visited,
+            "densest tiling should visit more sites"
+        );
+    }
+}

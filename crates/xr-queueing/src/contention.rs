@@ -66,6 +66,20 @@ impl EdgeContention {
         })
     }
 
+    /// The same server and per-session rate under a different tenant
+    /// population — how the testbed derives each edge *site's* queue from
+    /// the base contention configuration when a session roams a multi-edge
+    /// topology (the site the tagged session is attached to sets `λ`, so its
+    /// utilisation ρ genuinely changes as it migrates).
+    ///
+    /// # Errors
+    ///
+    /// As [`EdgeContention::new`]: zero `users`, or a population that
+    /// saturates the server, is rejected.
+    pub fn with_users(&self, users: u32) -> Result<Self> {
+        Self::new(users, self.per_session_rate, self.service_time)
+    }
+
     /// Number of sessions sharing the server (including the tagged one).
     #[must_use]
     pub fn users(&self) -> u32 {
@@ -151,6 +165,23 @@ mod tests {
         let ratio = c.mean_sojourn().as_f64() / c.service_time().as_f64();
         assert!(ratio > 1.0);
         assert!(ratio < 1.005, "ratio {ratio}");
+    }
+
+    #[test]
+    fn repopulating_preserves_server_and_rate() {
+        let base = EdgeContention::new(4, 30.0, Seconds::from_millis(2.0)).unwrap();
+        let heavier = base.with_users(6).unwrap();
+        assert_eq!(heavier.users(), 6);
+        assert!((heavier.per_session_rate() - base.per_session_rate()).abs() < 1e-15);
+        assert_eq!(heavier.service_time(), base.service_time());
+        assert!((heavier.arrival_rate() - 180.0).abs() < 1e-12);
+        assert!(heavier.mean_sojourn() > base.mean_sojourn());
+        assert_eq!(base.with_users(4).unwrap(), base);
+        assert!(base.with_users(0).is_err());
+        assert!(matches!(
+            base.with_users(17),
+            Err(Error::UnstableQueue { .. })
+        ));
     }
 
     #[test]

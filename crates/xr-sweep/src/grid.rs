@@ -1,7 +1,7 @@
 //! The operating-point grid a campaign sweeps.
 
 use serde::{Deserialize, Serialize};
-use xr_types::{Error, ExecutionTarget, Result};
+use xr_types::{Error, ExecutionTarget, MigrationPolicy, Result, TopologyLayout};
 
 /// The frame sizes swept in Figs. 4–5 (the paper's x-axis, pixel²).
 pub const PAPER_FRAME_SIZES: [f64; 5] = [300.0, 400.0, 500.0, 600.0, 700.0];
@@ -148,12 +148,22 @@ pub struct OperatingPoint {
     /// default (30 fps). Contention sweeps pin this low so the shared edge
     /// queue has headroom for a multi-user population before `ρ = 1`.
     pub frame_rate_hz: Option<f64>,
+    /// Edge-topology layout the session roams. `None` keeps the legacy
+    /// single-zone mobility model (no `xr_core::TopologyConfig` at all).
+    pub topology: Option<TopologyLayout>,
+    /// Edge-site density in sites/km² for tiled/Voronoi layouts. `None`
+    /// keeps the topology's default density when a layout is set.
+    pub site_density: Option<f64>,
+    /// State-migration policy priced on edge-to-edge handoffs. `None` keeps
+    /// the default (eager) when a layout is set.
+    pub migration_policy: Option<MigrationPolicy>,
 }
 
-/// A campaign grid: the cartesian product of nine axes, enumerated in a
-/// fixed row-major order (edge population, frame rate, campaign size,
-/// device, wireless, mobility, execution, CPU clock, frame size — frame
-/// size varies fastest, matching the Fig. 4 panel layout), plus the
+/// A campaign grid: the cartesian product of twelve axes, enumerated in a
+/// fixed row-major order (topology layout, site density, migration policy,
+/// edge population, frame rate, campaign size, device, wireless, mobility,
+/// execution, CPU clock, frame size — frame size varies fastest, matching
+/// the Fig. 4 panel layout), plus the
 /// per-point replication count (how many independently seeded sessions each
 /// operating point is measured with — not an enumeration axis, the
 /// collector aggregates replications into one row).
@@ -177,6 +187,16 @@ pub struct SweepGrid {
     /// Per-session frame-rate axis in Hz; `None` entries keep the scenario
     /// default (30 fps).
     frame_rates: Vec<Option<f64>>,
+    /// Edge-topology layout axis. `None` entries keep the legacy
+    /// single-zone mobility model; sweeping it plots migration cost against
+    /// the site tiling.
+    topologies: Vec<Option<TopologyLayout>>,
+    /// Edge-site density axis in sites/km²; `None` entries keep the
+    /// topology default.
+    site_densities: Vec<Option<f64>>,
+    /// State-migration policy axis; `None` entries keep the default
+    /// (eager).
+    migration_policies: Vec<Option<MigrationPolicy>>,
     replications: usize,
 }
 
@@ -195,6 +215,9 @@ impl SweepGrid {
             frames_per_session: vec![None],
             users_per_edge: vec![None],
             frame_rates: vec![None],
+            topologies: vec![None],
+            site_densities: vec![None],
+            migration_policies: vec![None],
             replications: 1,
         }
     }
@@ -267,6 +290,32 @@ impl SweepGrid {
         self
     }
 
+    /// Replaces the edge-topology layout axis. Each entry places the
+    /// session on a multi-site `xr_core::TopologyConfig` with the given
+    /// tiling; the legacy single-zone model is spelled
+    /// [`TopologyLayout::Single`].
+    #[must_use]
+    pub fn with_topologies(mut self, layouts: impl Into<Vec<TopologyLayout>>) -> Self {
+        self.topologies = layouts.into().into_iter().map(Some).collect();
+        self
+    }
+
+    /// Replaces the edge-site density axis (sites/km²). Non-positive
+    /// densities are rejected later, when the operating point is turned
+    /// into a scenario.
+    #[must_use]
+    pub fn with_site_densities(mut self, densities: impl Into<Vec<f64>>) -> Self {
+        self.site_densities = densities.into().into_iter().map(Some).collect();
+        self
+    }
+
+    /// Replaces the state-migration policy axis.
+    #[must_use]
+    pub fn with_migration_policies(mut self, policies: impl Into<Vec<MigrationPolicy>>) -> Self {
+        self.migration_policies = policies.into().into_iter().map(Some).collect();
+        self
+    }
+
     /// Sets the per-point replication count (clamped to at least 1).
     #[must_use]
     pub fn with_replications(mut self, replications: usize) -> Self {
@@ -293,6 +342,9 @@ impl SweepGrid {
             * self.frames_per_session.len()
             * self.users_per_edge.len()
             * self.frame_rates.len()
+            * self.topologies.len()
+            * self.site_densities.len()
+            * self.migration_policies.len()
     }
 
     /// `true` when any axis is empty.
@@ -317,28 +369,37 @@ impl SweepGrid {
         }
         let mut points = Vec::with_capacity(self.len());
         let mut index = 0usize;
-        for &users_per_edge in &self.users_per_edge {
-            for &frame_rate_hz in &self.frame_rates {
-                for &frames_per_session in &self.frames_per_session {
-                    for device in &self.devices {
-                        for wireless in &self.wireless {
-                            for mobility in &self.mobility {
-                                for &execution in &self.executions {
-                                    for &clock in &self.cpu_clocks {
-                                        for &size in &self.frame_sizes {
-                                            points.push(OperatingPoint {
-                                                index,
-                                                frame_size: size,
-                                                cpu_clock_ghz: clock,
-                                                execution,
-                                                device: device.clone(),
-                                                wireless: wireless.clone(),
-                                                mobility: mobility.clone(),
-                                                frames_per_session,
-                                                users_per_edge,
-                                                frame_rate_hz,
-                                            });
-                                            index += 1;
+        for &topology in &self.topologies {
+            for &site_density in &self.site_densities {
+                for &migration_policy in &self.migration_policies {
+                    for &users_per_edge in &self.users_per_edge {
+                        for &frame_rate_hz in &self.frame_rates {
+                            for &frames_per_session in &self.frames_per_session {
+                                for device in &self.devices {
+                                    for wireless in &self.wireless {
+                                        for mobility in &self.mobility {
+                                            for &execution in &self.executions {
+                                                for &clock in &self.cpu_clocks {
+                                                    for &size in &self.frame_sizes {
+                                                        points.push(OperatingPoint {
+                                                            index,
+                                                            frame_size: size,
+                                                            cpu_clock_ghz: clock,
+                                                            execution,
+                                                            device: device.clone(),
+                                                            wireless: wireless.clone(),
+                                                            mobility: mobility.clone(),
+                                                            frames_per_session,
+                                                            users_per_edge,
+                                                            frame_rate_hz,
+                                                            topology,
+                                                            site_density,
+                                                            migration_policy,
+                                                        });
+                                                        index += 1;
+                                                    }
+                                                }
+                                            }
                                         }
                                     }
                                 }
@@ -453,6 +514,37 @@ mod tests {
         assert_eq!(points[1].frame_rate_hz, Some(10.0));
         assert_eq!(points[2].users_per_edge, Some(4));
         assert_eq!(points[4].users_per_edge, Some(1), "zero clamps to 1 user");
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+
+    #[test]
+    fn topology_axes_multiply_outermost_and_default_off() {
+        let grid = SweepGrid::paper_panel(ExecutionTarget::Remote)
+            .with_frame_sizes([300.0])
+            .with_cpu_clocks([2.0]);
+        let points = grid.points().unwrap();
+        assert!(points.iter().all(|p| p.topology.is_none()));
+        assert!(points.iter().all(|p| p.site_density.is_none()));
+        assert!(points.iter().all(|p| p.migration_policy.is_none()));
+
+        let grid = grid
+            .with_topologies([TopologyLayout::Square, TopologyLayout::Hex])
+            .with_site_densities([400.0, 1600.0])
+            .with_migration_policies([MigrationPolicy::Eager, MigrationPolicy::Lazy])
+            .with_users_per_edge([3]);
+        assert_eq!(grid.len(), 8, "layout × density × policy axes multiply");
+        let points = grid.points().unwrap();
+        // Layout is the outermost axis, density next, policy third: each
+        // layout's block is contiguous and spans every density × policy.
+        assert_eq!(points[0].topology, Some(TopologyLayout::Square));
+        assert_eq!(points[0].site_density, Some(400.0));
+        assert_eq!(points[0].migration_policy, Some(MigrationPolicy::Eager));
+        assert_eq!(points[1].migration_policy, Some(MigrationPolicy::Lazy));
+        assert_eq!(points[2].site_density, Some(1600.0));
+        assert_eq!(points[4].topology, Some(TopologyLayout::Hex));
+        assert!(points.iter().all(|p| p.users_per_edge == Some(3)));
         for (i, p) in points.iter().enumerate() {
             assert_eq!(p.index, i);
         }

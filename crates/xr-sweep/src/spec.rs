@@ -18,6 +18,9 @@
 //! frames_per_session = 20, 80                # measurement-campaign sizes
 //! users_per_edge = 1, 2, 4                   # sessions sharing the edge server
 //! frame_rates  = 5                           # per-session frame rate (Hz)
+//! topology     = square, hex                 # edge-site tiling (or voronoi)
+//! site_density = 400, 1600                   # edge sites per km²
+//! migration_policy = eager, lazy             # state re-offload on migration
 //! replications = 5
 //! ```
 //!
@@ -26,7 +29,7 @@
 
 use crate::grid::{MobilityCondition, SweepGrid, WirelessCondition};
 use std::collections::BTreeSet;
-use xr_types::{Error, ExecutionTarget, Result};
+use xr_types::{Error, ExecutionTarget, MigrationPolicy, Result, TopologyLayout};
 
 fn spec_error(line_number: usize, message: impl std::fmt::Display) -> Error {
     Error::invalid_parameter("grid spec", format!("line {line_number}: {message}"))
@@ -261,6 +264,27 @@ pub fn parse_grid_spec(text: &str) -> Result<SweepGrid> {
             "frame_rates" => {
                 grid.with_frame_rates(parse_positive_floats(line_number, key, &tokens)?)
             }
+            "topology" => grid.with_topologies(
+                tokens
+                    .iter()
+                    .map(|t| {
+                        t.parse::<TopologyLayout>()
+                            .map_err(|e| spec_error(line_number, e))
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+            "site_density" => {
+                grid.with_site_densities(parse_positive_floats(line_number, key, &tokens)?)
+            }
+            "migration_policy" => grid.with_migration_policies(
+                tokens
+                    .iter()
+                    .map(|t| {
+                        t.parse::<MigrationPolicy>()
+                            .map_err(|e| spec_error(line_number, e))
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+            ),
             "replications" => {
                 if tokens.len() != 1 {
                     return Err(spec_error(line_number, "replications: expected one value"));
@@ -282,7 +306,8 @@ pub fn parse_grid_spec(text: &str) -> Result<SweepGrid> {
                     format!(
                         "unknown key `{key}` (expected frame_sizes, cpu_clocks, executions, \
                          devices, wireless, mobility, frames_per_session, users_per_edge, \
-                         frame_rates, or replications)"
+                         frame_rates, topology, site_density, migration_policy, or \
+                         replications)"
                     ),
                 ))
             }
@@ -362,6 +387,41 @@ mod tests {
     }
 
     #[test]
+    fn topology_keys_parse_into_the_new_axes() {
+        let spec = "
+            frame_sizes = 300
+            cpu_clocks = 2.0
+            executions = remote
+            mobility = vehicle:25:8
+            topology = square, hex, voronoi
+            site_density = 400, 1600
+            migration_policy = eager, lazy
+        ";
+        let grid = parse_grid_spec(spec).unwrap();
+        assert_eq!(grid.len(), 12); // 3 layouts × 2 densities × 2 policies
+        let points = grid.points().unwrap();
+        assert_eq!(points[0].topology, Some(TopologyLayout::Square));
+        assert_eq!(points[0].site_density, Some(400.0));
+        assert_eq!(points[0].migration_policy, Some(MigrationPolicy::Eager));
+        assert_eq!(points[1].migration_policy, Some(MigrationPolicy::Lazy));
+        assert_eq!(points[2].site_density, Some(1600.0));
+        assert_eq!(points[4].topology, Some(TopologyLayout::Hex));
+        assert_eq!(points[8].topology, Some(TopologyLayout::Voronoi));
+        // The legacy single-zone model is spelled out explicitly.
+        let single = parse_grid_spec("topology = single\n").unwrap();
+        let points = single.points().unwrap();
+        assert!(points
+            .iter()
+            .all(|p| p.topology == Some(TopologyLayout::Single)));
+        // Without the keys all three axes stay off.
+        let plain = parse_grid_spec("frame_sizes = 300\n").unwrap();
+        let points = plain.points().unwrap();
+        assert!(points.iter().all(|p| p.topology.is_none()));
+        assert!(points.iter().all(|p| p.site_density.is_none()));
+        assert!(points.iter().all(|p| p.migration_policy.is_none()));
+    }
+
+    #[test]
     fn unspecified_axes_keep_paper_defaults() {
         let grid = parse_grid_spec("replications = 2\n").unwrap();
         assert_eq!(grid.replications(), 2);
@@ -402,6 +462,21 @@ mod tests {
         assert!(err("users_per_edge = many").contains("`many` is not a positive integer"));
         assert!(err("frame_rates = 0").contains("must be positive"));
         assert!(err("frame_rates = fast").contains("`fast` is not a number"));
+        let torus = err("topology = torus");
+        assert!(torus.contains("unknown layout `torus`"), "{torus}");
+        assert!(
+            torus.contains("expected square, hex, or voronoi"),
+            "{torus}"
+        );
+        assert!(err("site_density = 0").contains("site_density: `0` must be positive"));
+        assert!(err("site_density = -400").contains("must be positive"));
+        assert!(err("site_density = dense").contains("`dense` is not a number"));
+        let policy = err("migration_policy = teleport");
+        assert!(
+            policy.contains("unknown migration policy `teleport`"),
+            "{policy}"
+        );
+        assert!(policy.contains("expected eager or lazy"), "{policy}");
         assert!(err("replications = 0").contains("must be at least 1"));
         assert!(err("replications = 2, 3").contains("expected one value"));
         assert!(err("replications = two").contains("not a positive integer"));

@@ -16,8 +16,15 @@
 //!    stage consumed and columns can be evaluated in any order.
 //! 2. **Explicit carry for the sequential stages.** The only cross-frame
 //!    state — the mobility walker of the handoff stage — is advanced as one
-//!    in-order scan per batch ([`xr_wireless::RandomWalker::advance_many`]),
-//!    with its fractional-step carry preserved across batch boundaries.
+//!    in-order scan per batch ([`xr_wireless::RandomWalker::advance_many`],
+//!    or [`xr_wireless::TopologyWalker::advance_many_into`] when the
+//!    scenario places a multi-site [`xr_wireless::EdgeTopology`]), with its
+//!    fractional-step carry preserved across batch boundaries. On a
+//!    topologized scenario a per-batch walk pre-pass records each frame's
+//!    attachment site and [`SiteEvents`]; the handoff column then prices
+//!    zone crossings and edge-to-edge state migrations from those records,
+//!    and the contended edge column looks up the *site's* M/M/1 plan per
+//!    frame.
 //!
 //! ## The lane-oriented draw layer
 //!
@@ -56,7 +63,7 @@ use rand_distr::{column, Distribution, Exp, Normal};
 use xr_core::Scenario;
 use xr_types::lanes::LaneStreams;
 use xr_types::{Joules, Result, Seconds, Segment, Watts, SPEED_OF_LIGHT};
-use xr_wireless::{HandoffKind, WirelessLink};
+use xr_wireless::{HandoffKind, SiteEvents, WirelessLink};
 
 /// Default number of frames simulated per batch. Sessions shorter than the
 /// width still run batched (one partial batch); longer sessions amortise
@@ -121,6 +128,9 @@ struct BatchConsts {
     mobile: bool,
     window: Seconds,
     handoff_base: Seconds,
+    // Stage 7, topology mode — the multi-edge map's hoisted per-session
+    // state (`None` keeps the single-zone path byte-identical).
+    topology: Option<BatchTopology>,
     // Stage 8 — render.
     render_base: Seconds,
     result_delivery: Seconds,
@@ -135,8 +145,21 @@ struct BatchConsts {
     segment_is_compute: [bool; Segment::ALL.len()],
     /// `mix(session_seed, stage_id)` per stage — the first half of
     /// [`stage_stream_seed`], hoisted so the per-frame stream derivation is
-    /// a single `mix` against the frame index.
-    stage_seed_base: [u64; 12],
+    /// a single `mix` against the frame index. Each entry is a pure function
+    /// of `(session_seed, stage_id)`, so growing the array for a new stream
+    /// id cannot re-key any existing stage.
+    stage_seed_base: [u64; 13],
+}
+
+/// The hoisted topology-mode constants of one batched session: the per-site
+/// contended sampling plans (when contention is configured) and the
+/// deterministic state-migration base latency of the scenario's re-offload
+/// policy.
+struct BatchTopology {
+    /// `plans[site]` — the contended edge stage's sampling plan while the
+    /// session is attached to `site`; `None` for an uncontended topology.
+    site_plans: Option<Vec<ContentionPlan>>,
+    migration_base: Seconds,
 }
 
 impl BatchConsts {
@@ -240,6 +263,21 @@ impl BatchConsts {
                 TestbedSimulator::segment_included(scenario, segment, uses_local, uses_edge);
         }
 
+        let topology = match scenario.topology {
+            Some(config) => Some(BatchTopology {
+                site_plans: simulator.site_contention_plans(scenario)?,
+                migration_base: TestbedSimulator::migration_base(config.migration_policy),
+            }),
+            None => None,
+        };
+        // With a topology the contended plan is per *site* (held in
+        // `topology`); the aggregate plan would shadow it.
+        let contention = if scenario.topology.is_none() {
+            simulator.contention_plan(scenario)?
+        } else {
+            None
+        };
+
         Ok(Self {
             noise: (simulator.noise_sigma > 0.0)
                 .then(|| Normal::new(0.0, simulator.noise_sigma).expect("valid sigma")),
@@ -263,10 +301,11 @@ impl BatchConsts {
                     * client_share
             }),
             edges,
-            contention: simulator.contention_plan(scenario)?,
+            contention,
             mobile,
             window,
             handoff_base,
+            topology,
             render_base: ms(frame.raw_size.as_f64(), c_true) + frame.raw_data / memory,
             result_delivery,
             cooperation_base: scenario.cooperation.payload / scenario.cooperation.throughput
@@ -400,6 +439,12 @@ struct FrameBatch {
     handoff_occurred: Vec<bool>,
     /// Scratch: the per-frame observation windows fed to `advance_many`.
     windows: Vec<Seconds>,
+    /// Topology mode: the edge site serving each frame's uplink (the site
+    /// at the frame window's start), recorded by the walk pre-pass.
+    sites: Vec<usize>,
+    /// Topology mode: each frame's crossing/migration events from the walk
+    /// pre-pass, priced later by the handoff stage.
+    events: Vec<SiteEvents>,
     /// Scratch: the finalizer's per-frame power phases.
     phases: Vec<(Watts, Seconds)>,
     /// Scratch: the finalizer's Eq. 1 latency totals, one per frame.
@@ -431,6 +476,8 @@ impl FrameBatch {
             buffering: Vec::new(),
             handoff_occurred: Vec::new(),
             windows: Vec::new(),
+            sites: Vec::new(),
+            events: Vec::new(),
             phases: Vec::new(),
             totals: Vec::new(),
             compute: Vec::new(),
@@ -500,6 +547,7 @@ impl TestbedSimulator {
         while first <= frames {
             let n = width.min(frames - first + 1) as usize;
             batch.reset(first, n);
+            self.batch_walk(&consts, &mut batch, &mut session);
             self.batch_generate(&consts, &mut batch, &mut draws);
             self.batch_sense(&consts, &mut batch, &mut draws);
             self.batch_buffer(&consts, &mut batch, &mut draws);
@@ -512,7 +560,44 @@ impl TestbedSimulator {
             self.batch_finalize(&consts, &mut batch, &mut out);
             first += n as u64;
         }
-        Ok(GroundTruthSession { frames: out })
+        Ok(GroundTruthSession {
+            frames: out,
+            migration_time: session.migration_time,
+            sites_visited: session.sites_visited(),
+        })
+    }
+
+    /// Topology pre-pass — the *other* sequential scan: advance the
+    /// topology walker through the whole batch in frame order (preserving
+    /// the fractional-step carry, like the legacy walker scan), recording
+    /// per frame the site serving its uplink (the site at the window start)
+    /// and its crossing/migration events. The walker stream is
+    /// session-sequential, but because every stage draws from its own
+    /// per-(stage, frame) stream, hoisting the walk before the uplink stage
+    /// cannot change any stage's draws — only the walk's in-order totals
+    /// matter, and those are identical to the scalar's frame-interleaved
+    /// advances. A static topologized session pins every frame to its start
+    /// site with no events.
+    fn batch_walk(&self, k: &BatchConsts, b: &mut FrameBatch, session: &mut SessionState) {
+        if k.topology.is_none() {
+            return;
+        }
+        match session.topo.as_mut() {
+            Some(topo) if k.mobile => {
+                b.windows.clear();
+                b.windows.resize(b.n, k.window);
+                topo.advance_many_into(&b.windows, &mut b.events);
+                b.sites.clear();
+                b.sites.extend(b.events.iter().map(|events| events.site));
+                session.site = topo.site_index();
+            }
+            _ => {
+                b.sites.clear();
+                b.sites.resize(b.n, session.site);
+                b.events.clear();
+                b.events.resize(b.n, SiteEvents::default());
+            }
+        }
     }
 
     /// Stage 1 column loop — frame/volumetric generation noise. Per frame
@@ -639,6 +724,32 @@ impl TestbedSimulator {
         if k.edges.is_empty() {
             return;
         }
+        if let Some(plans) = k.topology.as_ref().and_then(|t| t.site_plans.as_ref()) {
+            // Topology + contention: the sojourn rate depends on the frame's
+            // serving site (recorded by the walk pre-pass), so this path
+            // draws frame-at-a-time instead of column-wise — the exponential
+            // column transform needs one fixed rate per column, and here the
+            // rate changes mid-batch whenever the session migrates. Per
+            // frame the stream consumption (one sojourn word per server, in
+            // server order, from the CONTENTION stream) is exactly the
+            // scalar's.
+            for i in 0..b.n {
+                let mut rng = k.rng(stream::CONTENTION, b.frame_index(i));
+                for &(weight, sojourn) in &plans[b.sites[i]].pairs {
+                    let drawn = Seconds::new(sojourn.sample(&mut rng));
+                    let remote = &mut b.latency[REMOTE_INFERENCE][i];
+                    *remote = remote.max(drawn * weight);
+                }
+            }
+            d.reseed(k, stream::UPLINK_EDGE, b);
+            for &(_, tx_base) in &k.edges {
+                d.uniform_a(0.0, 0.12);
+                for (tx, &jitter) in b.latency[TRANSMISSION].iter_mut().zip(&d.fac_a) {
+                    *tx = tx.max(tx_base * (1.0 + jitter));
+                }
+            }
+            return;
+        }
         if let Some(plan) = &k.contention {
             d.reseed(k, stream::CONTENTION, b);
             for &(weight, sojourn) in &plan.pairs {
@@ -690,6 +801,36 @@ impl TestbedSimulator {
         session: &mut SessionState,
     ) {
         if !k.mobile {
+            return;
+        }
+        if let Some(topology) = &k.topology {
+            // The walk pre-pass already advanced the topology walker; price
+            // each frame's recorded events here. Crossing noise comes from
+            // the HANDOFF stream and migration noise from the MIGRATION
+            // stream — the same per-stream draw sequence as the scalar
+            // stage (one sample per stream, only when its count is
+            // nonzero), so a 1-site topology leaves both paths bit-identical
+            // to the single-zone pipeline.
+            for i in 0..b.n {
+                let events = b.events[i];
+                if events.crossings == 0 {
+                    continue;
+                }
+                let mut rng = k.rng(stream::HANDOFF, b.frame_index(i));
+                b.handoff_occurred[i] = true;
+                session.handoffs += events.crossings as u64;
+                let mut latency = k.handoff_base * events.crossings as f64 * k.noise(&mut rng);
+                if events.migrations > 0 {
+                    session.migrations += events.migrations as u64;
+                    let mut migration_rng = k.rng(stream::MIGRATION, b.frame_index(i));
+                    let migration = topology.migration_base
+                        * events.migrations as f64
+                        * k.noise(&mut migration_rng);
+                    session.migration_time += migration;
+                    latency += migration;
+                }
+                b.latency[HANDOFF][i] = latency;
+            }
             return;
         }
         // A batched session always owns its SessionState, and SessionState::new
@@ -964,6 +1105,131 @@ mod tests {
         let batched = testbed.simulate_session_batched(&s, 3, 2).unwrap_err();
         assert!(matches!(scalar, xr_types::Error::UnstableQueue { .. }));
         assert!(matches!(batched, xr_types::Error::UnstableQueue { .. }));
+    }
+
+    fn topology_scenario(
+        layout: xr_types::TopologyLayout,
+        policy: xr_types::MigrationPolicy,
+        density: f64,
+        users: Option<u32>,
+    ) -> Scenario {
+        let mut builder = Scenario::builder()
+            .execution(ExecutionTarget::Remote)
+            .frame_side(300.0)
+            .frame_rate(xr_types::Hertz::new(5.0))
+            .mobility(xr_core::MobilityConfig {
+                speed: MetersPerSecond::new(25.0),
+                coverage_radius: Meters::new(8.0),
+                handoff_kind: HandoffKind::Horizontal,
+            })
+            .topology(xr_core::TopologyConfig {
+                layout,
+                site_density: density,
+                migration_policy: policy,
+            });
+        if let Some(users) = users {
+            builder = builder.contention(users);
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn topologized_batches_match_the_scalar_reference_bit_for_bit() {
+        // Stage 7's edge-to-edge arm reroutes the walk through the batch
+        // pre-pass and prices migrations on their own stream; every layout,
+        // policy, and width (including tails) must reproduce the scalar
+        // reference exactly — contended sessions included, since they pull
+        // per-site M/M/1 plans instead of the base plan.
+        use xr_types::{MigrationPolicy, TopologyLayout};
+        let testbed = TestbedSimulator::new(51);
+        for layout in [
+            TopologyLayout::Square,
+            TopologyLayout::Hex,
+            TopologyLayout::Voronoi,
+        ] {
+            for policy in [MigrationPolicy::Eager, MigrationPolicy::Lazy] {
+                for users in [None, Some(3)] {
+                    let s = topology_scenario(layout, policy, 2500.0, users);
+                    let scalar = testbed.simulate_session_scalar(&s, 97).unwrap();
+                    for width in [1, 3, 17, 97, 128] {
+                        let batched = testbed.simulate_session_batched(&s, 97, width).unwrap();
+                        assert_eq!(
+                            batched, scalar,
+                            "{layout:?}/{policy:?}/users {users:?} diverged at width {width}"
+                        );
+                    }
+                }
+            }
+        }
+        // Density 2500 sites/km² makes sites ~20 m apart, so a 25 m/s
+        // walker genuinely roams — the arm under test actually fired.
+        let s = topology_scenario(
+            TopologyLayout::Square,
+            MigrationPolicy::Eager,
+            2500.0,
+            Some(3),
+        );
+        let session = testbed.simulate_session_scalar(&s, 97).unwrap();
+        assert!(session.sites_visited() > 1, "walker never migrated");
+        assert!(session.migration_time() > Seconds::ZERO);
+    }
+
+    #[test]
+    fn single_layout_topology_replays_the_legacy_session_bit_for_bit() {
+        // A 1-site topology must be indistinguishable from no topology at
+        // all: same walker stream, no MIGRATION draws, and (when contended)
+        // a per-site plan equal to the base plan — in both engines.
+        use xr_types::{MigrationPolicy, TopologyLayout};
+        let testbed = TestbedSimulator::new(52);
+        for users in [None, Some(4)] {
+            let mut legacy = Scenario::builder()
+                .execution(ExecutionTarget::Remote)
+                .frame_side(300.0)
+                .frame_rate(xr_types::Hertz::new(5.0))
+                .mobility(xr_core::MobilityConfig {
+                    speed: MetersPerSecond::new(25.0),
+                    coverage_radius: Meters::new(8.0),
+                    handoff_kind: HandoffKind::Horizontal,
+                });
+            if let Some(users) = users {
+                legacy = legacy.contention(users);
+            }
+            let legacy = legacy.build().unwrap();
+            let mut single = legacy.clone();
+            single.topology = Some(xr_core::TopologyConfig {
+                layout: TopologyLayout::Single,
+                site_density: 0.0,
+                migration_policy: MigrationPolicy::Eager,
+            });
+            let reference = testbed.simulate_session_scalar(&legacy, 73).unwrap();
+            assert!(reference.handoff_rate() > 0.0);
+            assert_eq!(
+                testbed.simulate_session_scalar(&single, 73).unwrap(),
+                reference,
+                "scalar single-site diverged (users {users:?})"
+            );
+            for width in [1, 9, 73] {
+                assert_eq!(
+                    testbed
+                        .simulate_session_batched(&single, 73, width)
+                        .unwrap(),
+                    reference,
+                    "batched single-site diverged at width {width} (users {users:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_topologized_batches_still_match() {
+        use xr_types::{MigrationPolicy, TopologyLayout};
+        let testbed = TestbedSimulator::new(53).with_noise(0.0);
+        let s = topology_scenario(TopologyLayout::Hex, MigrationPolicy::Lazy, 2500.0, Some(2));
+        let scalar = testbed.simulate_session_scalar(&s, 48).unwrap();
+        for width in [1, 7, 48] {
+            let batched = testbed.simulate_session_batched(&s, 48, width).unwrap();
+            assert_eq!(batched, scalar, "noiseless topology diverged at {width}");
+        }
     }
 
     #[test]

@@ -32,8 +32,13 @@
 //!    stream;
 //! 7. **handoff** — mobility: in a session, a stateful [`RandomWalker`]
 //!    advances one frame window and every coverage-boundary crossing is a
-//!    real handoff event; for a standalone frame (no [`SessionState`]
-//!    walker) the legacy Bernoulli draw over the analytic `P(HO)` applies;
+//!    real handoff event; with a multi-site [`xr_core::TopologyConfig`] a
+//!    [`TopologyWalker`] roams an [`EdgeTopology`] instead, and each
+//!    crossing that lands inside another site's coverage becomes an
+//!    edge-to-edge handoff that additionally pays state-migration latency
+//!    (eager vs lazy re-offload, drawn on [`stream::MIGRATION`]); for a
+//!    standalone frame (no [`SessionState`] walker) the legacy Bernoulli
+//!    draw over the analytic `P(HO)` applies;
 //! 8. **render + downlink** — result delivery and display rendering;
 //! 9. **cooperate** — XR-cooperation exchange;
 //! 10. **finalize** — Eq. 1 gating of the end-to-end total and the
@@ -57,8 +62,13 @@ use xr_devices::DeviceCatalog;
 use xr_queueing::EdgeContention;
 use xr_stats::Summary;
 use xr_types::seed::stage_stream_seed;
-use xr_types::{Joules, Ratio, Result, Seconds, Segment, Watts, SPEED_OF_LIGHT};
-use xr_wireless::{CoverageZone, HandoffKind, RandomWalkMobility, RandomWalker, WirelessLink};
+use xr_types::{
+    Joules, MigrationPolicy, Ratio, Result, Seconds, Segment, TopologyLayout, Watts, SPEED_OF_LIGHT,
+};
+use xr_wireless::{
+    AccessTechnology, CoverageZone, EdgeTopology, HandoffKind, RandomWalkMobility, RandomWalker,
+    TopologyWalker, WirelessLink,
+};
 
 /// Stable identifiers of the simulator's named RNG streams.
 ///
@@ -94,6 +104,13 @@ pub mod stream {
     /// shared edge server. A separate stream (not [`UPLINK_EDGE`]) so the
     /// wireless jitter draws keep their position when contention toggles.
     pub const CONTENTION: u64 = 11;
+    /// Stage 7, topology mode — the state-migration latency noise of an
+    /// inter-site handoff. A separate stream (not [`HANDOFF`]) so the legacy
+    /// crossing-latency draws keep their position when a topology is
+    /// configured, and a 1-site topology stays byte-identical to the
+    /// single-zone pipeline (one site can never migrate, so this stream is
+    /// then never touched).
+    pub const MIGRATION: u64 = 12;
 }
 
 /// Ground-truth measurements for one frame.
@@ -149,6 +166,12 @@ impl GroundTruthFrame {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GroundTruthSession {
     pub(crate) frames: Vec<GroundTruthFrame>,
+    /// Total inter-site state-migration latency paid over the session
+    /// (zero without a multi-edge topology).
+    pub(crate) migration_time: Seconds,
+    /// Number of distinct edge sites the session attached to (1 without a
+    /// multi-edge topology, or when it never left its start site).
+    pub(crate) sites_visited: u32,
 }
 
 impl GroundTruthSession {
@@ -234,6 +257,31 @@ impl GroundTruthSession {
             return 0.0;
         }
         self.frames.iter().filter(|f| f.handoff_occurred).count() as f64 / self.frames.len() as f64
+    }
+
+    /// Total inter-site state-migration latency paid over the session. Zero
+    /// unless the scenario roams a multi-edge topology and actually changed
+    /// sites.
+    #[must_use]
+    pub fn migration_time(&self) -> Seconds {
+        self.migration_time
+    }
+
+    /// Mean per-frame state-migration latency (total migration time over
+    /// the frame count).
+    #[must_use]
+    pub fn mean_migration_latency(&self) -> Seconds {
+        if self.frames.is_empty() {
+            return Seconds::ZERO;
+        }
+        Seconds::new(self.migration_time.as_f64() / self.frames.len() as f64)
+    }
+
+    /// Number of distinct edge sites the session attached to, including the
+    /// start site (1 without a multi-edge topology).
+    #[must_use]
+    pub fn sites_visited(&self) -> u32 {
+        self.sites_visited
     }
 }
 
@@ -440,9 +488,30 @@ impl TestbedSimulator {
             let contention = EdgeContention::new(config.users_per_edge, per_session_rate, service)?;
             servers.push((weight, contention));
         }
+        // With a multi-edge topology the aggregate queues above are only the
+        // map-wide baseline: each *site* hosts its own tenant population, so
+        // resolve one queue set per site by repopulating the per-server
+        // queues (same server, same per-session rate, the site's tenants).
+        let sites = match Self::edge_topology(scenario) {
+            Some(map) => map
+                .sites()
+                .iter()
+                .map(|site| {
+                    servers
+                        .iter()
+                        .map(|(weight, contention)| {
+                            Ok((*weight, contention.with_users(site.tenants())?))
+                        })
+                        .collect::<Result<Vec<_>>>()
+                        .map(|queues| (site.tenants(), queues))
+                })
+                .collect::<Result<Vec<_>>>()?,
+            None => Vec::new(),
+        };
         Ok(Some(ContentionSnapshot {
             users: config.users_per_edge,
             servers,
+            sites,
         }))
     }
 
@@ -469,6 +538,95 @@ impl TestbedSimulator {
             })
             .collect();
         Ok(Some(ContentionPlan { pairs }))
+    }
+
+    /// The per-*site* sampling plans of the contended edge stage when the
+    /// session roams a multi-edge topology: `plans[site]` is the
+    /// [`ContentionPlan`] of the queue population resident at that site, so
+    /// the tagged session's utilisation ρ genuinely changes as it migrates.
+    /// Shared by the scalar reference (indexed per frame with the frame's
+    /// serving site) and the batched engine (hoisted once per session).
+    ///
+    /// Returns `Ok(None)` when the scenario has no topology, no contention,
+    /// or never touches an edge server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`xr_types::Error::UnstableQueue`] when any *site's* tenant
+    /// population saturates an edge server.
+    pub(crate) fn site_contention_plans(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<Option<Vec<ContentionPlan>>> {
+        let Some(snapshot) = self.contention_snapshot(scenario)? else {
+            return Ok(None);
+        };
+        if snapshot.sites.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(
+            snapshot
+                .sites
+                .iter()
+                .map(|(_, queues)| ContentionPlan {
+                    pairs: queues
+                        .iter()
+                        .map(|(weight, contention)| {
+                            (
+                                *weight,
+                                Exp::new(contention.sojourn_rate())
+                                    .expect("stable queue has a positive rate"),
+                            )
+                        })
+                        .collect(),
+                })
+                .collect(),
+        ))
+    }
+
+    /// The multi-edge site map of a scenario, or `None` when it keeps the
+    /// paper's single-coverage-zone mobility model.
+    ///
+    /// The mapping: every site runs the scenario's first edge link budget
+    /// (falling back to 5 GHz Wi-Fi without edge servers) and hosts a tenant
+    /// population cycled around `contention.users_per_edge` (1 when
+    /// uncontended). [`TopologyLayout::Single`] reuses the mobility
+    /// coverage radius — the bit-identity pin against the legacy walker —
+    /// while the tiled layouts derive their per-site radii from
+    /// `site_density` and ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a tiled layout carries a non-positive site density —
+    /// unreachable for scenarios that passed [`Scenario::validate`].
+    #[must_use]
+    pub fn edge_topology(scenario: &Scenario) -> Option<EdgeTopology> {
+        let config = scenario.topology?;
+        let technology = scenario
+            .edge_servers
+            .first()
+            .map_or(AccessTechnology::WiFi5GHz, |server| server.technology);
+        let tenants = scenario.contention.map_or(1, |c| c.users_per_edge);
+        Some(match config.layout {
+            TopologyLayout::Single => EdgeTopology::single(
+                CoverageZone::new(scenario.mobility.coverage_radius),
+                technology,
+                tenants,
+            ),
+            layout => EdgeTopology::tiled(layout, config.site_density, technology, tenants)
+                .expect("scenario validation rejects non-positive site densities"),
+        })
+    }
+
+    /// The deterministic base latency of one inter-site state migration:
+    /// eager re-offload pushes the full session state (decoder context, CNN
+    /// activations, render surfaces) inline with the handoff; lazy
+    /// re-offload only redirects the uplink and defers the state fetches.
+    pub(crate) fn migration_base(policy: MigrationPolicy) -> Seconds {
+        match policy {
+            MigrationPolicy::Eager => Seconds::new(0.25),
+            MigrationPolicy::Lazy => Seconds::new(0.06),
+        }
     }
 
     /// Whether `segment` runs on the compute rail (CPU/GPU work that feeds
@@ -553,7 +711,17 @@ impl TestbedSimulator {
         session: &mut SessionState,
     ) -> Result<GroundTruthFrame> {
         scenario.validate()?;
-        let contention = self.contention_plan(scenario)?;
+        // With a topology the contended queue population is the *serving
+        // site's*, read before the handoff stage advances the walker — so
+        // the uplink of frame `f` is priced at the site where the window
+        // opened, exactly like the batched engine's recorded pre-advance
+        // site.
+        let contention = match scenario.topology {
+            Some(_) => self
+                .site_contention_plans(scenario)?
+                .map(|mut plans| plans.swap_remove(session.site)),
+            None => self.contention_plan(scenario)?,
+        };
         let mut state = FrameState::new(self, scenario, frame_index);
         self.stage_generate(&mut state);
         self.stage_sense(&mut state);
@@ -723,38 +891,71 @@ impl TestbedSimulator {
     }
 
     /// Stage 7 — mobility and handoff. With session state, the stateful
-    /// random walker advances one frame window and any coverage-boundary
-    /// crossing is a handoff; for a standalone frame, a Bernoulli draw over
-    /// the analytic per-window `P(HO)` stands in.
+    /// walker advances one frame window and any coverage-boundary crossing
+    /// is a handoff; on a multi-edge topology a crossing that re-attaches
+    /// to a neighbouring site additionally pays the **state-migration**
+    /// latency of the configured re-offload policy, drawn from the
+    /// dedicated [`stream::MIGRATION`] stream (so the crossing noise keeps
+    /// its [`stream::HANDOFF`] position and a 1-site topology replays the
+    /// single-zone pipeline bit for bit). For a standalone frame, a
+    /// Bernoulli draw over the analytic per-window `P(HO)` stands in.
     fn stage_handoff(&self, s: &mut FrameState<'_>, session: &mut SessionState) {
         let mut rng = self.stage_rng(stream::HANDOFF, s.frame_index);
         let scenario = s.scenario;
         let handoff_latency = if s.uses_edge && scenario.mobility.speed.as_f64() > 0.0 {
-            let crossings = match session.walker.as_mut() {
-                Some(walker) => walker.advance(scenario.frame_window()),
-                None => {
-                    let mobility = RandomWalkMobility::new(
-                        scenario.mobility.speed,
-                        Seconds::new(0.1),
-                        CoverageZone::new(scenario.mobility.coverage_radius),
-                    );
-                    let p = mobility.handoff_probability(scenario.frame_window());
-                    usize::from(rng.gen_bool(p.clamp(0.0, 1.0)))
+            if let Some(topo) = session.topo.as_mut() {
+                let events = topo.advance(scenario.frame_window());
+                session.site = topo.site_index();
+                let mut latency = Seconds::ZERO;
+                if events.crossings > 0 {
+                    s.handoff_occurred = true;
+                    session.handoffs += events.crossings as u64;
+                    let base = match scenario.mobility.handoff_kind {
+                        HandoffKind::Horizontal => Seconds::new(0.065),
+                        HandoffKind::Vertical => Seconds::new(1.2),
+                    };
+                    latency += base * events.crossings as f64 * self.noise(&mut rng);
                 }
-            };
-            if crossings > 0 {
-                // A sub-10-fps frame window spans several walk steps, so one
-                // frame can cross more than once; each crossing pays the
-                // handoff latency.
-                s.handoff_occurred = true;
-                session.handoffs += crossings as u64;
-                let base = match scenario.mobility.handoff_kind {
-                    HandoffKind::Horizontal => Seconds::new(0.065),
-                    HandoffKind::Vertical => Seconds::new(1.2),
-                };
-                base * crossings as f64 * self.noise(&mut rng)
+                if events.migrations > 0 {
+                    session.migrations += events.migrations as u64;
+                    let policy = scenario
+                        .topology
+                        .map_or(MigrationPolicy::Eager, |t| t.migration_policy);
+                    let mut migration_rng = self.stage_rng(stream::MIGRATION, s.frame_index);
+                    let migration = Self::migration_base(policy)
+                        * events.migrations as f64
+                        * self.noise(&mut migration_rng);
+                    session.migration_time += migration;
+                    latency += migration;
+                }
+                latency
             } else {
-                Seconds::ZERO
+                let crossings = match session.walker.as_mut() {
+                    Some(walker) => walker.advance(scenario.frame_window()),
+                    None => {
+                        let mobility = RandomWalkMobility::new(
+                            scenario.mobility.speed,
+                            Seconds::new(0.1),
+                            CoverageZone::new(scenario.mobility.coverage_radius),
+                        );
+                        let p = mobility.handoff_probability(scenario.frame_window());
+                        usize::from(rng.gen_bool(p.clamp(0.0, 1.0)))
+                    }
+                };
+                if crossings > 0 {
+                    // A sub-10-fps frame window spans several walk steps, so
+                    // one frame can cross more than once; each crossing pays
+                    // the handoff latency.
+                    s.handoff_occurred = true;
+                    session.handoffs += crossings as u64;
+                    let base = match scenario.mobility.handoff_kind {
+                        HandoffKind::Horizontal => Seconds::new(0.065),
+                        HandoffKind::Vertical => Seconds::new(1.2),
+                    };
+                    base * crossings as f64 * self.noise(&mut rng)
+                } else {
+                    Seconds::ZERO
+                }
             }
         } else {
             Seconds::ZERO
@@ -891,21 +1092,37 @@ impl TestbedSimulator {
                 "must be at least 1",
             ));
         }
+        // Validate before building SessionState: an invalid topology must
+        // surface as an error here, not a panic in the site-map construction.
+        scenario.validate()?;
         let mut session = SessionState::new(self, scenario);
         let frames = (1..=frames)
             .map(|i| self.simulate_frame_in_session(scenario, i, &mut session))
             .collect::<Result<Vec<_>>>()?;
-        Ok(GroundTruthSession { frames })
+        Ok(GroundTruthSession {
+            frames,
+            migration_time: session.migration_time,
+            sites_visited: session.sites_visited(),
+        })
     }
 }
 
 /// Session-scoped simulation state threaded through the staged frame
-/// pipeline: the stateful mobility walker (present for a moving device) and
-/// the handoff tally.
+/// pipeline: the stateful mobility walker (present for a moving device),
+/// the serving edge site of a multi-edge topology, and the handoff /
+/// migration tallies.
 #[derive(Debug, Clone)]
 pub struct SessionState {
     pub(crate) walker: Option<RandomWalker>,
+    /// The topology walker, replacing `walker` when the scenario roams a
+    /// multi-edge map (a moving device gets exactly one of the two).
+    pub(crate) topo: Option<TopologyWalker>,
+    /// Index of the edge site currently serving the session (its start
+    /// site for a static topologized device, 0 without a topology).
+    pub(crate) site: usize,
     pub(crate) handoffs: u64,
+    pub(crate) migrations: u64,
+    pub(crate) migration_time: Seconds,
 }
 
 impl SessionState {
@@ -913,10 +1130,38 @@ impl SessionState {
     /// a random walker with its own RNG stream (the session-scoped
     /// [`stream::WALKER`] stream, decorrelated from every per-frame
     /// measurement stream), starting from a uniformly random position in its
-    /// coverage zone — the distribution the analytic `P(HO)` assumes.
+    /// coverage zone — the distribution the analytic `P(HO)` assumes. With a
+    /// [`xr_core::TopologyConfig`] the walker is a [`TopologyWalker`] over
+    /// the scenario's site map instead, seeded from the *same* stream (over
+    /// a 1-site map it replays the legacy walker bit for bit); a static
+    /// topologized device still attaches to the map's start site.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scenario carries a topology that fails
+    /// [`Scenario::validate`] (non-positive tiled site density) — the
+    /// session entry points validate first.
     #[must_use]
     pub fn new(simulator: &TestbedSimulator, scenario: &Scenario) -> Self {
-        let walker = (scenario.mobility.speed.as_f64() > 0.0).then(|| {
+        let moving = scenario.mobility.speed.as_f64() > 0.0;
+        let map = TestbedSimulator::edge_topology(scenario);
+        let (topo, site) = match &map {
+            Some(map) => {
+                let site = map.start_site();
+                let topo = moving.then(|| {
+                    let mut topo = map.walker(
+                        scenario.mobility.speed,
+                        Seconds::new(0.1),
+                        stage_stream_seed(simulator.seed, stream::WALKER, 0),
+                    );
+                    topo.reset_uniform();
+                    topo
+                });
+                (topo, site)
+            }
+            None => (None, 0),
+        };
+        let walker = (map.is_none() && moving).then(|| {
             let mobility = RandomWalkMobility::new(
                 scenario.mobility.speed,
                 Seconds::new(0.1),
@@ -928,17 +1173,26 @@ impl SessionState {
         });
         Self {
             walker,
+            topo,
+            site,
             handoffs: 0,
+            migrations: 0,
+            migration_time: Seconds::ZERO,
         }
     }
 
     /// State for a standalone frame outside any session: no walker, so the
-    /// handoff stage falls back to the analytic Bernoulli draw.
+    /// handoff stage falls back to the analytic Bernoulli draw (also for
+    /// topologized scenarios, which need a session to roam the map).
     #[must_use]
     pub fn standalone() -> Self {
         Self {
             walker: None,
+            topo: None,
+            site: 0,
             handoffs: 0,
+            migrations: 0,
+            migration_time: Seconds::ZERO,
         }
     }
 
@@ -948,11 +1202,44 @@ impl SessionState {
         self.handoffs
     }
 
+    /// Number of inter-site state migrations observed so far (always at
+    /// most [`SessionState::handoff_count`]).
+    #[must_use]
+    pub fn migration_count(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Total state-migration latency paid so far.
+    #[must_use]
+    pub fn migration_time(&self) -> Seconds {
+        self.migration_time
+    }
+
+    /// Index of the edge site currently serving the session.
+    #[must_use]
+    pub fn site_index(&self) -> usize {
+        self.site
+    }
+
+    /// Number of distinct edge sites attached to so far (1 without a
+    /// topology walker).
+    #[must_use]
+    pub fn sites_visited(&self) -> u32 {
+        self.topo.as_ref().map_or(1, |t| t.sites_visited() as u32)
+    }
+
     /// The mobility walker, when the device is moving and the state was
-    /// built by [`SessionState::new`].
+    /// built by [`SessionState::new`] without a topology.
     #[must_use]
     pub fn walker(&self) -> Option<&RandomWalker> {
         self.walker.as_ref()
+    }
+
+    /// The topology walker, when the device is moving across a multi-edge
+    /// map.
+    #[must_use]
+    pub fn topology_walker(&self) -> Option<&TopologyWalker> {
+        self.topo.as_ref()
     }
 }
 
@@ -965,6 +1252,10 @@ impl SessionState {
 pub struct ContentionSnapshot {
     users: u32,
     servers: Vec<(f64, EdgeContention)>,
+    /// Per edge *site* of a multi-edge topology (site order): the site's
+    /// tenant population and its repopulated per-server queues. Empty when
+    /// the scenario keeps the single-zone model.
+    sites: Vec<(u32, Vec<(f64, EdgeContention)>)>,
 }
 
 impl ContentionSnapshot {
@@ -981,7 +1272,18 @@ impl ContentionSnapshot {
         &self.servers
     }
 
+    /// Per edge site of the scenario's multi-edge topology (site order):
+    /// the site's tenant population and its per-server queues — what the
+    /// tagged session's frames draw from while attached there. Empty when
+    /// the scenario has no topology.
+    #[must_use]
+    pub fn site_queues(&self) -> &[(u32, Vec<(f64, EdgeContention)>)] {
+        &self.sites
+    }
+
     /// The most utilised edge queue — where the latency knee appears first.
+    /// With a topology, the per-site queues compete too (the densest tenant
+    /// population sets the knee).
     ///
     /// # Panics
     ///
@@ -991,6 +1293,11 @@ impl ContentionSnapshot {
         self.servers
             .iter()
             .map(|(_, contention)| contention)
+            .chain(
+                self.sites
+                    .iter()
+                    .flat_map(|(_, queues)| queues.iter().map(|(_, contention)| contention)),
+            )
             .max_by(|a, b| a.utilization().total_cmp(&b.utilization()))
             .expect("snapshot always holds at least one server")
     }

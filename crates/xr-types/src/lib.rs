@@ -31,12 +31,14 @@ pub mod ids;
 pub mod lanes;
 pub mod seed;
 pub mod segment;
+pub mod topology;
 pub mod units;
 
 pub use error::{Error, Result};
 pub use frame::{Frame, FrameStream};
 pub use ids::{DeviceId, EdgeServerId, FrameId, SensorId};
 pub use segment::{ExecutionTarget, Segment, SegmentSet};
+pub use topology::{MigrationPolicy, TopologyLayout};
 pub use units::{
     Bytes, Celsius, GigaBytesPerSecond, GigaHertz, Hertz, Joules, MegaBitsPerSecond, MegaBytes,
     Meters, MetersPerSecond, MilliJoules, MilliSeconds, MilliWatts, PixelsSquared, Ratio, Seconds,

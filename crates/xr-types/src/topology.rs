@@ -1,0 +1,138 @@
+//! Shared multi-edge topology vocabulary.
+//!
+//! The paper models a *single* edge-assisted coverage zone; the workspace's
+//! multi-edge extension (the `xr-wireless` topology module and the testbed's
+//! edge-to-edge handoff stage) tiles a service area with many edge sites and
+//! migrates the tagged session between them. The two small enums here are the
+//! cross-crate vocabulary of that extension: the site **layout** family and
+//! the state-**migration policy** priced at each inter-site handoff. They
+//! live in `xr-types` (like [`crate::ExecutionTarget`]) because the sweep
+//! engine's operating-point grid needs them without depending on the
+//! wireless substrate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The site-layout family of an edge topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyLayout {
+    /// One site covering the whole service area — the degenerate layout that
+    /// must reproduce the paper's single-coverage-zone behaviour bit for bit
+    /// (the equivalence pin of the topology refactor). Not reachable from
+    /// grid files; campaigns sweep the tiled layouts below.
+    Single,
+    /// Sites on a square lattice, each covering the circumcircle of its
+    /// tile (neighbouring disks overlap, so the map has no coverage holes).
+    Square,
+    /// Sites on a triangular lattice with hexagonal cells — the classic
+    /// cellular layout; cell circumcircles overlap like the square case.
+    Hex,
+    /// Voronoi-seeded sites: lattice positions jittered by a deterministic
+    /// per-site offset, with per-site radii derived from the
+    /// nearest-neighbour distance. Gaps between disks model coverage holes:
+    /// a session falling into one re-enters its old site's service area
+    /// instead of migrating.
+    Voronoi,
+}
+
+impl fmt::Display for TopologyLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TopologyLayout::Single => "single",
+            TopologyLayout::Square => "square",
+            TopologyLayout::Hex => "hex",
+            TopologyLayout::Voronoi => "voronoi",
+        })
+    }
+}
+
+impl FromStr for TopologyLayout {
+    type Err = crate::Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "single" => Ok(TopologyLayout::Single),
+            "square" => Ok(TopologyLayout::Square),
+            "hex" => Ok(TopologyLayout::Hex),
+            "voronoi" => Ok(TopologyLayout::Voronoi),
+            other => Err(crate::Error::invalid_parameter(
+                "topology",
+                format!("unknown layout `{other}` (expected square, hex, or voronoi)"),
+            )),
+        }
+    }
+}
+
+/// How session state follows the device across an inter-site handoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MigrationPolicy {
+    /// Re-offload eagerly: the source site pushes the full session state
+    /// (decoder context, CNN activations, render surfaces) to the target
+    /// site inline with the handoff, so every migration pays the whole
+    /// state-transfer latency up front.
+    Eager,
+    /// Re-offload lazily: the handoff only redirects the uplink; session
+    /// state is fetched on demand over the inter-edge backhaul, so the
+    /// inline migration cost is a small redirect penalty (the deferred
+    /// fetches are amortised into later service and not modelled here).
+    Lazy,
+}
+
+impl fmt::Display for MigrationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MigrationPolicy::Eager => "eager",
+            MigrationPolicy::Lazy => "lazy",
+        })
+    }
+}
+
+impl FromStr for MigrationPolicy {
+    type Err = crate::Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "eager" => Ok(MigrationPolicy::Eager),
+            "lazy" => Ok(MigrationPolicy::Lazy),
+            other => Err(crate::Error::invalid_parameter(
+                "migration_policy",
+                format!("unknown migration policy `{other}` (expected eager or lazy)"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_round_trip_through_strings() {
+        for layout in [
+            TopologyLayout::Single,
+            TopologyLayout::Square,
+            TopologyLayout::Hex,
+            TopologyLayout::Voronoi,
+        ] {
+            assert_eq!(
+                layout.to_string().parse::<TopologyLayout>().unwrap(),
+                layout
+            );
+        }
+        let err = "triangular".parse::<TopologyLayout>().unwrap_err();
+        assert!(err.to_string().contains("unknown layout `triangular`"));
+    }
+
+    #[test]
+    fn policies_round_trip_through_strings() {
+        for policy in [MigrationPolicy::Eager, MigrationPolicy::Lazy] {
+            assert_eq!(
+                policy.to_string().parse::<MigrationPolicy>().unwrap(),
+                policy
+            );
+        }
+        let err = "hot".parse::<MigrationPolicy>().unwrap_err();
+        assert!(err.to_string().contains("unknown migration policy `hot`"));
+    }
+}

@@ -32,8 +32,10 @@ pub mod handoff;
 pub mod link;
 pub mod mobility;
 pub mod pathloss;
+pub mod topology;
 
 pub use handoff::{HandoffKind, HandoffModel};
 pub use link::{AccessTechnology, WirelessLink};
 pub use mobility::{CoverageZone, RandomWalkMobility, RandomWalker};
 pub use pathloss::{FreeSpacePathLoss, LogDistancePathLoss, PathLoss};
+pub use topology::{EdgeSite, EdgeTopology, SiteEvents, TopologyWalker};

@@ -95,6 +95,16 @@ impl RandomWalkMobility {
     /// approximated by the fraction of the zone's area lying within one
     /// expected displacement `ℓ = v·t` of the boundary:
     /// `P(HO) ≈ 1 − ((R − ℓ)/R)²`, clamped to `[0, 1]`.
+    ///
+    /// **Single-zone analytic assumption.** This closed form models the
+    /// paper's setting of *one* circular zone that the device re-enters
+    /// uniformly after every crossing; it knows nothing about neighbouring
+    /// sites. On a multi-site map — [`crate::topology::EdgeTopology`] — the
+    /// crossing rate per site follows the same law (each site is a circular
+    /// zone of its own radius), but which crossings become inter-site
+    /// *migrations* depends on the layout's overlap geometry; use
+    /// [`crate::topology::TopologyWalker`] to simulate that instead of this
+    /// approximation.
     #[must_use]
     pub fn handoff_probability(&self, window: Seconds) -> f64 {
         let displacement = self.speed.as_f64() * window.as_f64().max(0.0);
@@ -109,6 +119,14 @@ impl RandomWalkMobility {
     /// Expected residence time inside the zone before a boundary crossing,
     /// `E[T] ≈ R / v` for a uniformly random starting point (infinite for a
     /// static device).
+    ///
+    /// **Single-zone analytic assumption.** `R` here is the radius of the
+    /// one-and-only coverage zone. On an [`crate::topology::EdgeTopology`]
+    /// the per-site residence time uses each site's own radius, and the
+    /// session's dwell time at a site additionally depends on whether the
+    /// exit migrates it to a neighbour or drops it into a coverage hole
+    /// (uniform re-entry); [`crate::topology::TopologyWalker`] is the
+    /// simulated generalisation.
     #[must_use]
     pub fn expected_residence_time(&self) -> Seconds {
         if self.speed.as_f64() <= 0.0 {

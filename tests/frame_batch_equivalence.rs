@@ -63,6 +63,9 @@ proptest! {
         frames in 1u64..64,
         width in 1usize..80,
         users in prop::sample::select(vec![0u32, 1, 2, 3, 5]),
+        layout in prop::sample::select(vec![0u8, 1, 2, 3]),
+        density in 50.0..3000.0_f64,
+        lazy in prop::sample::select(vec![false, true]),
     ) {
         let scenario = build_scenario(size, clock, share, fps, target, updates, speed, radius);
         let testbed = TestbedSimulator::new(seed);
@@ -110,10 +113,53 @@ proptest! {
                     let batched_err = testbed
                         .simulate_session_batched(&contended, frames, width)
                         .unwrap_err();
-                    // A saturated queue must error identically in both
+                    // A saturated queue must refuse identically in both
                     // engines.
                     prop_assert_eq!(format!("{scalar_err:?}"), format!("{batched_err:?}"));
                 }
+            }
+        }
+
+        // Edge topology: the same property with the session roaming a
+        // multi-site map — random layout, site density, migration policy,
+        // and (sometimes) per-site contention. Saturation of a *site's*
+        // queue (tenant populations cycle around the base) must refuse
+        // identically in both engines too.
+        let mut topologized = build_scenario(size, clock, share, fps / 6.0, target, updates, speed, radius);
+        let topo_layout = match layout {
+            0 => xr_types::TopologyLayout::Single,
+            1 => xr_types::TopologyLayout::Square,
+            2 => xr_types::TopologyLayout::Hex,
+            _ => xr_types::TopologyLayout::Voronoi,
+        };
+        topologized.topology = Some(xr_core::TopologyConfig {
+            layout: topo_layout,
+            site_density: if topo_layout == xr_types::TopologyLayout::Single { 0.0 } else { density },
+            migration_policy: if lazy {
+                xr_types::MigrationPolicy::Lazy
+            } else {
+                xr_types::MigrationPolicy::Eager
+            },
+        });
+        if users > 0 {
+            topologized.contention = Some(xr_core::ContentionConfig { users_per_edge: users });
+        }
+        topologized.validate().expect("topologized scenario is valid");
+        match testbed.simulate_session_scalar(&topologized, frames) {
+            Ok(scalar) => {
+                let batched = testbed
+                    .simulate_session_batched(&topologized, frames, width)
+                    .unwrap();
+                prop_assert!(
+                    batched == scalar,
+                    "topologized engines diverged ({topo_layout:?}, density {density}, frames {frames}, width {width})"
+                );
+            }
+            Err(scalar_err) => {
+                let batched_err = testbed
+                    .simulate_session_batched(&topologized, frames, width)
+                    .unwrap_err();
+                prop_assert_eq!(format!("{scalar_err:?}"), format!("{batched_err:?}"));
             }
         }
     }

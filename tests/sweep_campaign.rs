@@ -123,6 +123,71 @@ fn contention_campaign_is_byte_identical_across_worker_counts_and_runs() {
 }
 
 #[test]
+fn topology_campaign_is_byte_identical_across_worker_counts_and_runs() {
+    // The topology grid routes the walk through the WALKER stream, prices
+    // migrations on the MIGRATION stream, and pulls per-site contention
+    // plans; the artifact must stay a pure function of (grid, campaign
+    // seed) — identical bytes for every worker count and across two
+    // independent runs of the same context seed.
+    let ctx = ExperimentContext::quick(19).unwrap();
+    let grid = parse_grid_spec(
+        "frame_sizes        = 300\n\
+         cpu_clocks         = 2.0\n\
+         executions         = remote\n\
+         frame_rates        = 5\n\
+         mobility           = vehicle:25:8\n\
+         frames_per_session = 100\n\
+         topology           = square, hex\n\
+         site_density       = 400, 1600\n\
+         migration_policy   = eager, lazy\n\
+         replications       = 2\n",
+    )
+    .unwrap();
+    let reference = csv_lines(&run_campaign_with(&ctx, &grid, &CampaignRunner::new(1)).unwrap());
+    assert_eq!(reference.len(), grid.len() + 1);
+    assert_eq!(grid.len(), 8);
+    for workers in [2, 5] {
+        let rows = run_campaign_with(&ctx, &grid, &CampaignRunner::new(workers)).unwrap();
+        assert_eq!(
+            csv_lines(&rows),
+            reference,
+            "{workers} workers diverged on the topology campaign"
+        );
+    }
+    let rerun_ctx = ExperimentContext::quick(19).unwrap();
+    let rerun = csv_lines(&run_campaign_with(&rerun_ctx, &grid, &CampaignRunner::new(3)).unwrap());
+    assert_eq!(rerun, reference, "a repeated run changed the artifact");
+    // The topology columns carry real signal: the vehicular session roams
+    // (sites_visited > 1, migration cost > 0), and at a fixed layout ×
+    // policy the denser tiling bills more migration latency.
+    let rows = run_campaign_with(&ctx, &grid, &CampaignRunner::new(2)).unwrap();
+    for row in &rows {
+        assert!(row.sites_visited > 1, "session never left its start site");
+        assert!(row.gt_migration_ms_mean > 0.0);
+        assert!(row.gt_handoff_rate > 0.0);
+    }
+    let find = |layout: &str, density: f64, policy: &str| {
+        rows.iter()
+            .find(|r| {
+                r.point.topology.map(|l| l.to_string()) == Some(layout.to_string())
+                    && r.point.site_density == Some(density)
+                    && r.point.migration_policy.map(|p| p.to_string()) == Some(policy.to_string())
+            })
+            .expect("row exists")
+    };
+    assert!(
+        find("square", 1600.0, "eager").gt_migration_ms_mean
+            > find("square", 400.0, "eager").gt_migration_ms_mean,
+        "denser square tiling must bill more migration latency"
+    );
+    assert!(
+        find("hex", 1600.0, "eager").gt_migration_ms_mean
+            > find("hex", 1600.0, "lazy").gt_migration_ms_mean,
+        "eager must out-bill lazy on the same walk"
+    );
+}
+
+#[test]
 fn mobility_sweep_is_worker_count_invariant() {
     let ctx = ExperimentContext::quick(9).unwrap();
     let reference = mobility_sweep_with(&ctx, &CampaignRunner::new(1)).unwrap();
