@@ -52,6 +52,11 @@ impl ExperimentContext {
     /// equivalence diff runs every campaign both ways and requires
     /// byte-identical artifacts).
     ///
+    /// `XR_CAMPAIGN_SEED` overrides the base session seed (default 2024).
+    /// Re-running the same grid under a different seed produces the
+    /// *same-scheme reseed* distribution that calibrates the null rate for
+    /// sanctioned draw-scheme re-keys (see `xr_stats::equivalence`).
+    ///
     /// # Panics
     ///
     /// Panics with a readable message if the regression calibration fails,
@@ -59,7 +64,10 @@ impl ExperimentContext {
     #[must_use]
     pub fn from_args() -> Self {
         let paper_scale = std::env::args().any(|a| a == "--paper-scale");
-        let seed = 2024;
+        let seed = std::env::var("XR_CAMPAIGN_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(2024);
         let ctx = if paper_scale {
             Self::paper_scale(seed)
         } else {

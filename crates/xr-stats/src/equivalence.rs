@@ -1,0 +1,278 @@
+//! Statistical-equivalence checks between two replicated campaign CSVs.
+//!
+//! A *sanctioned re-key* of the simulator's draw scheme (PR-4's per-stage
+//! stream split, PR-8's cached Box–Muller variate) changes which random
+//! numbers each stage consumes without changing any modeled distribution.
+//! The acceptance procedure is statistical: the re-keyed campaign must look
+//! like *a different seed of the same model* — mean shifts and
+//! outside-confidence-interval rates no worse than the null rate obtained by
+//! re-seeding the old scheme. This module makes that procedure a reusable
+//! artifact instead of a hand-derived analysis, so the next re-key diffs two
+//! CSVs with [`compare_campaigns`] and asserts against a
+//! [`compare_campaigns`]-measured null.
+//!
+//! The comparison understands the replicated-campaign CSV convention used
+//! by `xr-experiments`: a header row, identity columns (the sweep point
+//! configuration) before the first measured column, and measured metrics as
+//! `<name>_mean` / `<name>_ci95_lo` / `<name>_ci95_hi` triples. Measured
+//! columns without a CI triple (sparse-event means, deterministic model
+//! outputs) are ignored — they are either noise-free or not statistically
+//! summarized, so a CI containment test is undefined for them.
+
+use xr_types::{Error, Result};
+
+/// The aggregate outcome of diffing two campaign CSVs: how often each
+/// file's replicated means fall outside the other's 95 % confidence
+/// interval, and how far the means moved relative to each other.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EquivalenceReport {
+    /// CI-containment checks performed (2 per row per metric triple — each
+    /// file's mean is tested against the other file's interval).
+    pub comparisons: usize,
+    /// Checks where a mean fell outside the other file's interval.
+    pub outside_ci: usize,
+    /// Mean of `|Δmean| / max(|mean|)` over all (row, triple) pairs.
+    pub mean_rel_shift: f64,
+    /// Largest single relative mean shift observed.
+    pub max_rel_shift: f64,
+}
+
+impl EquivalenceReport {
+    /// Fraction of CI-containment checks that failed. With 95 % intervals,
+    /// two *independent same-scheme* runs land around 5–40 % depending on
+    /// replication count (the interval covers the true mean, not another
+    /// run's estimate); what matters is comparing a re-key's rate against
+    /// the same-scheme reseed null, not against an absolute threshold.
+    #[must_use]
+    pub fn outside_ci_rate(&self) -> f64 {
+        if self.comparisons == 0 {
+            return 0.0;
+        }
+        self.outside_ci as f64 / self.comparisons as f64
+    }
+
+    /// Pools this report with another (e.g. the same diff on a different
+    /// campaign grid), weighting by comparison count.
+    #[must_use]
+    pub fn pooled(&self, other: &EquivalenceReport) -> EquivalenceReport {
+        let n = self.comparisons + other.comparisons;
+        let weighted = |a: &EquivalenceReport, b: &EquivalenceReport| {
+            if n == 0 {
+                return 0.0;
+            }
+            (a.mean_rel_shift * a.comparisons as f64 + b.mean_rel_shift * b.comparisons as f64)
+                / n as f64
+        };
+        EquivalenceReport {
+            comparisons: n,
+            outside_ci: self.outside_ci + other.outside_ci,
+            mean_rel_shift: weighted(self, other),
+            max_rel_shift: self.max_rel_shift.max(other.max_rel_shift),
+        }
+    }
+}
+
+/// One `<name>_mean` / `<name>_ci95_lo` / `<name>_ci95_hi` column triple.
+struct Triple {
+    mean: usize,
+    lo: usize,
+    hi: usize,
+}
+
+/// Finds the measured metric triples in a campaign header.
+fn triples(header: &[&str]) -> Vec<Triple> {
+    header
+        .iter()
+        .enumerate()
+        .filter_map(|(mean, name)| {
+            let stem = name.strip_suffix("_mean")?;
+            let lo = header
+                .iter()
+                .position(|c| *c == format!("{stem}_ci95_lo"))?;
+            let hi = header
+                .iter()
+                .position(|c| *c == format!("{stem}_ci95_hi"))?;
+            Some(Triple { mean, lo, hi })
+        })
+        .collect()
+}
+
+fn parse_field(row_number: usize, name: &str, value: &str) -> Result<f64> {
+    value.trim().parse::<f64>().map_err(|_| {
+        Error::invalid_parameter(
+            "campaign CSV",
+            format!("row {row_number}: column {name} is not numeric: {value:?}"),
+        )
+    })
+}
+
+/// Diffs two replicated-campaign CSVs (full file contents, header included)
+/// and reports outside-CI rates and relative mean shifts over every
+/// measured metric triple.
+///
+/// The two files must describe the *same campaign*: identical headers,
+/// identical row counts, and identical identity columns (every column
+/// before the first metric triple) row by row — anything else means the
+/// comparison would pair unrelated sweep points, which is an error, not a
+/// statistical difference.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when the CSVs are empty, have
+/// mismatched headers, row counts, or identity columns, contain no metric
+/// triples, or hold non-numeric metric fields.
+pub fn compare_campaigns(a: &str, b: &str) -> Result<EquivalenceReport> {
+    let mut rows_a = a.lines().filter(|l| !l.trim().is_empty());
+    let mut rows_b = b.lines().filter(|l| !l.trim().is_empty());
+    let header_a = rows_a
+        .next()
+        .ok_or_else(|| Error::invalid_parameter("campaign CSV", "first file is empty"))?;
+    let header_b = rows_b
+        .next()
+        .ok_or_else(|| Error::invalid_parameter("campaign CSV", "second file is empty"))?;
+    if header_a != header_b {
+        return Err(Error::invalid_parameter(
+            "campaign CSV",
+            "headers differ — not the same campaign format",
+        ));
+    }
+    let header: Vec<&str> = header_a.split(',').collect();
+    let triples = triples(&header);
+    if triples.is_empty() {
+        return Err(Error::invalid_parameter(
+            "campaign CSV",
+            "no <metric>_mean/_ci95_lo/_ci95_hi triples in header",
+        ));
+    }
+    let identity_end = triples
+        .iter()
+        .flat_map(|t| [t.mean, t.lo, t.hi])
+        .min()
+        .unwrap_or(header.len());
+
+    let mut report = EquivalenceReport {
+        comparisons: 0,
+        outside_ci: 0,
+        mean_rel_shift: 0.0,
+        max_rel_shift: 0.0,
+    };
+    let mut shift_sum = 0.0;
+    let mut shift_count = 0usize;
+    let mut row_number = 1usize;
+    loop {
+        let (line_a, line_b) = match (rows_a.next(), rows_b.next()) {
+            (Some(a), Some(b)) => (a, b),
+            (None, None) => break,
+            _ => {
+                return Err(Error::invalid_parameter(
+                    "campaign CSV",
+                    "row counts differ — not the same campaign grid",
+                ));
+            }
+        };
+        row_number += 1;
+        let fields_a: Vec<&str> = line_a.split(',').collect();
+        let fields_b: Vec<&str> = line_b.split(',').collect();
+        if fields_a.len() != header.len() || fields_b.len() != header.len() {
+            return Err(Error::invalid_parameter(
+                "campaign CSV",
+                format!("row {row_number}: field count does not match the header"),
+            ));
+        }
+        if fields_a[..identity_end] != fields_b[..identity_end] {
+            return Err(Error::invalid_parameter(
+                "campaign CSV",
+                format!("row {row_number}: identity columns differ — rows are not paired"),
+            ));
+        }
+        for t in &triples {
+            let name = header[t.mean];
+            let mean_a = parse_field(row_number, name, fields_a[t.mean])?;
+            let mean_b = parse_field(row_number, name, fields_b[t.mean])?;
+            let (lo_a, hi_a) = (
+                parse_field(row_number, name, fields_a[t.lo])?,
+                parse_field(row_number, name, fields_a[t.hi])?,
+            );
+            let (lo_b, hi_b) = (
+                parse_field(row_number, name, fields_b[t.lo])?,
+                parse_field(row_number, name, fields_b[t.hi])?,
+            );
+            report.comparisons += 2;
+            if mean_b < lo_a || mean_b > hi_a {
+                report.outside_ci += 1;
+            }
+            if mean_a < lo_b || mean_a > hi_b {
+                report.outside_ci += 1;
+            }
+            let scale = mean_a.abs().max(mean_b.abs()).max(1e-12);
+            let shift = (mean_a - mean_b).abs() / scale;
+            shift_sum += shift;
+            shift_count += 1;
+            report.max_rel_shift = report.max_rel_shift.max(shift);
+        }
+    }
+    if shift_count > 0 {
+        report.mean_rel_shift = shift_sum / shift_count as f64;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::compare_campaigns;
+
+    const HEADER: &str = "point,device,x_mean,x_ci95_lo,x_ci95_hi,extra";
+
+    #[test]
+    fn identical_files_report_zero_shift() {
+        let csv = format!("{HEADER}\n0,a,10.0,9.0,11.0,1\n1,b,20.0,19.0,21.0,2\n");
+        let report = compare_campaigns(&csv, &csv).unwrap();
+        assert_eq!(report.comparisons, 4);
+        assert_eq!(report.outside_ci, 0);
+        assert_eq!(report.mean_rel_shift, 0.0);
+        assert_eq!(report.max_rel_shift, 0.0);
+        assert_eq!(report.outside_ci_rate(), 0.0);
+    }
+
+    #[test]
+    fn outside_ci_and_shifts_are_counted_per_direction() {
+        let a = format!("{HEADER}\n0,a,10.0,9.0,11.0,1\n");
+        // Mean 12 is outside a's [9, 11]; a's mean 10 is inside b's [8, 13].
+        let b = format!("{HEADER}\n0,a,12.0,8.0,13.0,1\n");
+        let report = compare_campaigns(&a, &b).unwrap();
+        assert_eq!(report.comparisons, 2);
+        assert_eq!(report.outside_ci, 1);
+        assert!((report.outside_ci_rate() - 0.5).abs() < 1e-12);
+        assert!((report.max_rel_shift - 2.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_campaigns_are_rejected() {
+        let a = format!("{HEADER}\n0,a,10.0,9.0,11.0,1\n");
+        let other_header = "point,device,y_mean,y_ci95_lo,y_ci95_hi,extra";
+        let b = format!("{other_header}\n0,a,10.0,9.0,11.0,1\n");
+        assert!(compare_campaigns(&a, &b).is_err(), "headers differ");
+        let b = format!("{HEADER}\n0,a,10.0,9.0,11.0,1\n1,b,1.0,0.5,1.5,2\n");
+        assert!(compare_campaigns(&a, &b).is_err(), "row counts differ");
+        let b = format!("{HEADER}\n0,OTHER,10.0,9.0,11.0,1\n");
+        assert!(compare_campaigns(&a, &b).is_err(), "identity differs");
+        let b = format!("{HEADER}\n0,a,not-a-number,9.0,11.0,1\n");
+        assert!(compare_campaigns(&a, &b).is_err(), "non-numeric metric");
+        assert!(compare_campaigns("", "").is_err(), "empty files");
+        let no_triples = "point,device,value\n0,a,1.0\n";
+        assert!(compare_campaigns(no_triples, no_triples).is_err());
+    }
+
+    #[test]
+    fn pooled_reports_weight_by_comparison_count() {
+        let a1 = format!("{HEADER}\n0,a,10.0,9.0,11.0,1\n");
+        let b1 = format!("{HEADER}\n0,a,12.0,8.0,13.0,1\n");
+        let r1 = compare_campaigns(&a1, &b1).unwrap();
+        let r2 = compare_campaigns(&a1, &a1).unwrap();
+        let pooled = r1.pooled(&r2);
+        assert_eq!(pooled.comparisons, 4);
+        assert_eq!(pooled.outside_ci, 1);
+        assert!((pooled.mean_rel_shift - r1.mean_rel_shift / 2.0).abs() < 1e-12);
+        assert_eq!(pooled.max_rel_shift, r1.max_rel_shift);
+    }
+}

@@ -25,6 +25,9 @@
 //!   campaign measurements.
 //! * [`split`] — seeded train/test splitting mirroring the paper's
 //!   119 465 / 36 083 sample split.
+//! * [`equivalence`] — statistical diffing of two replicated campaign CSVs
+//!   (outside-CI rates, relative mean shifts) used to accept sanctioned
+//!   draw-scheme re-keys against a same-scheme reseed null.
 //!
 //! ```
 //! use xr_stats::{LinearRegression, metrics};
@@ -44,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod descriptive;
+pub mod equivalence;
 pub mod features;
 pub mod inference;
 pub mod matrix;
@@ -52,6 +56,7 @@ pub mod regression;
 pub mod split;
 
 pub use descriptive::Summary;
+pub use equivalence::{compare_campaigns, EquivalenceReport};
 pub use features::PolynomialFeatures;
 pub use inference::{mean_confidence_interval, students_t_quantile};
 pub use matrix::Matrix;

@@ -59,7 +59,7 @@ use crate::laws::DeviceBias;
 use crate::simulator::{
     stream, ContentionPlan, GroundTruthFrame, GroundTruthSession, SessionState, TestbedSimulator,
 };
-use rand_distr::{column, Distribution, Exp, Normal};
+use rand_distr::{column, Distribution, Exp, Normal, StandardNormalPairs};
 use xr_core::Scenario;
 use xr_types::lanes::LaneStreams;
 use xr_types::{Joules, Result, Seconds, Segment, Watts, SPEED_OF_LIGHT};
@@ -319,13 +319,14 @@ impl BatchConsts {
         })
     }
 
-    /// One multiplicative noise factor, drawing from `rng` exactly like the
-    /// scalar pipeline's `TestbedSimulator::noise` (no draw when noiseless).
-    /// Only the sparse handoff path still draws frame-at-a-time; the dense
-    /// stages consume pre-filled [`DrawColumns`] instead.
-    fn noise(&self, rng: &mut rand::rngs::StdRng) -> f64 {
+    /// One multiplicative noise factor, drawing through the stream's
+    /// [`StandardNormalPairs`] cache exactly like the scalar pipeline's
+    /// `TestbedSimulator::noise` (no draw when noiseless). Only the sparse
+    /// handoff path still draws frame-at-a-time; the dense stages consume
+    /// pre-filled [`DrawColumns`] instead.
+    fn noise(&self, rng: &mut rand::rngs::StdRng, pairs: &mut StandardNormalPairs) -> f64 {
         match &self.noise {
-            Some(normal) => normal.sample(rng).exp(),
+            Some(normal) => rand_distr::math::exp(normal.from_standard(pairs.next(rng))),
             None => 1.0,
         }
     }
@@ -394,21 +395,30 @@ impl DrawColumns {
     }
 
     /// Fills `fac_a` with the next multiplicative noise factor column —
-    /// `exp(N(0, σ))`, two raw words per frame, bit-identical to the scalar
-    /// `TestbedSimulator::noise` (the fused lognormal transform applies the
-    /// same operations in the same order).
+    /// `exp(N(0, σ))` from the cosine Box–Muller half of one word pair
+    /// (two raw words per frame), bit-identical to a stage whose scalar
+    /// form draws **one** factor from a fresh pair cache.
     fn noise_a(&mut self, normal: &Normal) {
         self.lanes.fill_next(&mut self.raw_a);
         self.lanes.fill_next(&mut self.raw_b);
         column::fill_lognormal(normal, &self.raw_a, &self.raw_b, &mut self.fac_a);
     }
 
-    /// [`DrawColumns::noise_a`] into `fac_b`, for stages that consume two
-    /// factor columns in one pass.
-    fn noise_b(&mut self, normal: &Normal) {
+    /// Fills `fac_a` (cosine halves) **and** `fac_b` (sine halves) with the
+    /// two noise factors of the next word pair — still two raw words per
+    /// frame, but one `ln`/`sqrt`/`sincos` set now feeds both columns.
+    /// Bit-identical to two consecutive draws through the scalar pipeline's
+    /// pair cache on the same stream.
+    fn noise_pair(&mut self, normal: &Normal) {
         self.lanes.fill_next(&mut self.raw_a);
         self.lanes.fill_next(&mut self.raw_b);
-        column::fill_lognormal(normal, &self.raw_a, &self.raw_b, &mut self.fac_b);
+        column::fill_lognormal_pair(
+            normal,
+            &self.raw_a,
+            &self.raw_b,
+            &mut self.fac_a,
+            &mut self.fac_b,
+        );
     }
 
     /// Fills `fac_a` with the next `gen_range(lo..hi)` column — one raw
@@ -600,17 +610,16 @@ impl TestbedSimulator {
         }
     }
 
-    /// Stage 1 column loop — frame/volumetric generation noise. Per frame
-    /// the words are consumed in scalar order (generation's pair first,
-    /// volumetric's second); noiseless sessions draw nothing, and `base *
-    /// 1.0 == base` bit for bit, so the constant fill matches the scalar
-    /// multiply.
+    /// Stage 1 column loop — frame/volumetric generation noise: the two
+    /// factors are the two halves of one Box–Muller pair (one word pair
+    /// per frame), matching the scalar stage's shared pair cache.
+    /// Noiseless sessions draw nothing, and `base * 1.0 == base` bit for
+    /// bit, so the constant fill matches the scalar multiply.
     fn batch_generate(&self, k: &BatchConsts, b: &mut FrameBatch, d: &mut DrawColumns) {
         match &k.noise {
             Some(normal) => {
                 d.reseed(k, stream::GENERATE, b);
-                d.noise_a(normal);
-                d.noise_b(normal);
+                d.noise_pair(normal);
                 for (latency, &factor) in b.latency[GENERATION].iter_mut().zip(&d.fac_a) {
                     *latency = k.generation_base * factor;
                 }
@@ -665,7 +674,10 @@ impl TestbedSimulator {
     }
 
     /// Stage 4 column loop — conversion (local path) and encoding (edge
-    /// path) noise; gated paths draw nothing, like the scalar stage.
+    /// path) noise; gated paths draw nothing, like the scalar stage. A
+    /// split scenario's two factors are the two halves of one word pair
+    /// (the scalar stage shares one pair cache across both paths); a
+    /// single active path takes the cosine half only.
     fn batch_encode(&self, k: &BatchConsts, b: &mut FrameBatch, d: &mut DrawColumns) {
         let Some(normal) = &k.noise else {
             if let Some(base) = k.conversion_base {
@@ -680,17 +692,29 @@ impl TestbedSimulator {
             return;
         }
         d.reseed(k, stream::ENCODE, b);
-        if let Some(base) = k.conversion_base {
-            d.noise_a(normal);
-            for (latency, &factor) in b.latency[CONVERSION].iter_mut().zip(&d.fac_a) {
-                *latency = base * factor;
+        match (k.conversion_base, k.encoding_base) {
+            (Some(conversion), Some(encoding)) => {
+                d.noise_pair(normal);
+                for (latency, &factor) in b.latency[CONVERSION].iter_mut().zip(&d.fac_a) {
+                    *latency = conversion * factor;
+                }
+                for (latency, &factor) in b.latency[ENCODING].iter_mut().zip(&d.fac_b) {
+                    *latency = encoding * factor;
+                }
             }
-        }
-        if let Some(base) = k.encoding_base {
-            d.noise_a(normal);
-            for (latency, &factor) in b.latency[ENCODING].iter_mut().zip(&d.fac_a) {
-                *latency = base * factor;
+            (Some(base), None) => {
+                d.noise_a(normal);
+                for (latency, &factor) in b.latency[CONVERSION].iter_mut().zip(&d.fac_a) {
+                    *latency = base * factor;
+                }
             }
+            (None, Some(base)) => {
+                d.noise_a(normal);
+                for (latency, &factor) in b.latency[ENCODING].iter_mut().zip(&d.fac_a) {
+                    *latency = base * factor;
+                }
+            }
+            (None, None) => unreachable!("gated above"),
         }
     }
 
@@ -710,9 +734,10 @@ impl TestbedSimulator {
     }
 
     /// Stage 6 column loop — weighted-slowest edge compute and slowest
-    /// uplink. Per edge server: one noise-factor column (two words per
-    /// frame, when noisy) then one wireless-jitter column, matching the
-    /// scalar's per-frame word order.
+    /// uplink. Per pair of edge servers: one paired noise-factor fill (two
+    /// words per frame, when noisy) whose halves serve consecutive
+    /// servers, interleaved with one wireless-jitter column per server —
+    /// matching the scalar's per-frame word order and pair-cache state.
     ///
     /// In contended mode the remote term instead consumes one exponential
     /// sojourn column per server from the dedicated
@@ -768,10 +793,18 @@ impl TestbedSimulator {
             return;
         }
         d.reseed(k, stream::UPLINK_EDGE, b);
-        for &(infer_weighted, tx_base) in &k.edges {
+        for (index, &(infer_weighted, tx_base)) in k.edges.iter().enumerate() {
             if let Some(normal) = &k.noise {
-                d.noise_b(normal);
-                for (remote, &factor) in b.latency[REMOTE_INFERENCE].iter_mut().zip(&d.fac_b) {
+                // The scalar stage shares one pair cache across the server
+                // loop: even-indexed servers draw a fresh word pair, odd
+                // ones reuse its cached sine half (the jitter column in
+                // between leaves the cache untouched — it lives in `fac_a`,
+                // and the pair's sine half in `fac_b`).
+                if index % 2 == 0 {
+                    d.noise_pair(normal);
+                }
+                let factors = if index % 2 == 0 { &d.fac_a } else { &d.fac_b };
+                for (remote, &factor) in b.latency[REMOTE_INFERENCE].iter_mut().zip(factors) {
                     *remote = remote.max(infer_weighted * factor);
                 }
             } else {
@@ -817,15 +850,18 @@ impl TestbedSimulator {
                     continue;
                 }
                 let mut rng = k.rng(stream::HANDOFF, b.frame_index(i));
+                let mut pairs = StandardNormalPairs::new();
                 b.handoff_occurred[i] = true;
                 session.handoffs += events.crossings as u64;
-                let mut latency = k.handoff_base * events.crossings as f64 * k.noise(&mut rng);
+                let mut latency =
+                    k.handoff_base * events.crossings as f64 * k.noise(&mut rng, &mut pairs);
                 if events.migrations > 0 {
                     session.migrations += events.migrations as u64;
                     let mut migration_rng = k.rng(stream::MIGRATION, b.frame_index(i));
+                    let mut migration_pairs = StandardNormalPairs::new();
                     let migration = topology.migration_base
                         * events.migrations as f64
-                        * k.noise(&mut migration_rng);
+                        * k.noise(&mut migration_rng, &mut migration_pairs);
                     session.migration_time += migration;
                     latency += migration;
                 }
@@ -850,9 +886,10 @@ impl TestbedSimulator {
                 continue;
             }
             let mut rng = k.rng(stream::HANDOFF, b.frame_index(i));
+            let mut pairs = StandardNormalPairs::new();
             b.handoff_occurred[i] = true;
             session.handoffs += count as u64;
-            b.latency[HANDOFF][i] = k.handoff_base * count as f64 * k.noise(&mut rng);
+            b.latency[HANDOFF][i] = k.handoff_base * count as f64 * k.noise(&mut rng, &mut pairs);
         }
     }
 

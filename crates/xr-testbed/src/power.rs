@@ -182,6 +182,12 @@ impl PowerMonitor {
         seed: u64,
     ) -> Joules {
         let mut rng = StdRng::seed_from_u64(seed);
+        // One Box–Muller pair cache across the frame's phases: each phase
+        // applies its own aggregated σ to the next *standard* variate, so
+        // consecutive phases share one word pair (and one transcendental
+        // set) while keeping the exact per-phase distribution. Phases that
+        // span no samples draw nothing, as before.
+        let mut pairs = rand_distr::StandardNormalPairs::new();
         let dt = self.sampling_interval.as_f64();
         let mut energy = 0.0;
 
@@ -199,7 +205,7 @@ impl PowerMonitor {
             let factor = if self.noise_fraction > 0.0 {
                 let aggregated = Normal::new(1.0, self.noise_fraction / samples.sqrt())
                     .expect("valid normal distribution");
-                aggregated.sample(&mut rng).max(0.0)
+                aggregated.from_standard(pairs.next(&mut rng)).max(0.0)
             } else {
                 1.0
             };

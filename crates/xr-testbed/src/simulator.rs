@@ -55,7 +55,7 @@ use crate::laws::{DeviceBias, TrueLaws};
 use crate::power::PowerMonitor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Exp, Normal};
+use rand_distr::{Distribution, Exp, Normal, StandardNormalPairs};
 use serde::{Deserialize, Serialize};
 use xr_core::Scenario;
 use xr_devices::DeviceCatalog;
@@ -379,12 +379,19 @@ impl TestbedSimulator {
         &self.laws
     }
 
-    pub(crate) fn noise(&self, rng: &mut StdRng) -> f64 {
+    /// One multiplicative measurement-noise factor `exp(N(0, σ))`, drawn
+    /// through the stage's [`StandardNormalPairs`] cache: odd draws on a
+    /// stream consume one raw word pair (the cosine Box–Muller half), even
+    /// draws consume nothing (the cached sine half). Stages that draw two
+    /// factors from one stream therefore pay **one** `ln`/`sqrt`/`sincos`
+    /// set for both — the PR-8 sanctioned re-key. Noiseless simulators
+    /// draw nothing, as before.
+    pub(crate) fn noise(&self, rng: &mut StdRng, pairs: &mut StandardNormalPairs) -> f64 {
         if self.noise_sigma <= 0.0 {
             return 1.0;
         }
         let normal = Normal::new(0.0, self.noise_sigma).expect("valid sigma");
-        normal.sample(rng).exp()
+        rand_distr::math::exp(normal.from_standard(pairs.next(rng)))
     }
 
     /// The RNG for one named stage stream of one frame: a pure function of
@@ -736,18 +743,20 @@ impl TestbedSimulator {
     }
 
     /// Stage 1 — frame generation (capture interval + ISP compute + memory
-    /// writes) and volumetric data generation.
+    /// writes) and volumetric data generation. The two noise factors are
+    /// the two halves of one Box–Muller pair (one word pair per frame).
     fn stage_generate(&self, s: &mut FrameState<'_>) {
         let mut rng = self.stage_rng(stream::GENERATE, s.frame_index);
+        let mut pairs = StandardNormalPairs::new();
         let frame = &s.scenario.frame;
         let generation = (frame.frame_rate.period()
             + Self::ms(frame.raw_size.as_f64(), s.c_true)
             + frame.raw_data / s.memory)
-            * self.noise(&mut rng);
+            * self.noise(&mut rng, &mut pairs);
         s.latency[Segment::FrameGeneration.slot()] = generation;
         let volumetric = (Self::ms(frame.scene_size.as_f64(), s.c_true)
             + frame.volumetric_data / s.memory)
-            * self.noise(&mut rng);
+            * self.noise(&mut rng, &mut pairs);
         s.latency[Segment::VolumetricDataGeneration.slot()] = volumetric;
     }
 
@@ -795,17 +804,21 @@ impl TestbedSimulator {
     /// path), using the true encoder law.
     fn stage_encode(&self, s: &mut FrameState<'_>) {
         let mut rng = self.stage_rng(stream::ENCODE, s.frame_index);
+        // One pair cache across both paths: a split scenario's conversion
+        // and encoding factors are the two halves of one word pair.
+        let mut pairs = StandardNormalPairs::new();
         let frame = &s.scenario.frame;
         let conversion = if s.uses_local {
             (Self::ms(frame.raw_size.as_f64(), s.c_true) + frame.raw_data / s.memory)
-                * self.noise(&mut rng)
+                * self.noise(&mut rng, &mut pairs)
         } else {
             Seconds::ZERO
         };
         s.latency[Segment::FrameConversion.slot()] = conversion;
         s.encode_work = self.laws.encoding_work(&s.scenario.encoding, frame, s.bias);
         let encoding = if s.uses_edge {
-            (Self::ms(s.encode_work, s.c_true) + frame.raw_data / s.memory) * self.noise(&mut rng)
+            (Self::ms(s.encode_work, s.c_true) + frame.raw_data / s.memory)
+                * self.noise(&mut rng, &mut pairs)
         } else {
             Seconds::ZERO
         };
@@ -815,13 +828,14 @@ impl TestbedSimulator {
     /// Stage 5 — the on-device CNN share.
     fn stage_local_inference(&self, s: &mut FrameState<'_>) {
         let mut rng = self.stage_rng(stream::LOCAL_INFERENCE, s.frame_index);
+        let mut pairs = StandardNormalPairs::new();
         let frame = &s.scenario.frame;
         let local_complexity = self.laws.cnn_complexity(&s.scenario.local_cnn);
         let local = if s.uses_local && s.client_share > 0.0 {
             (Self::ms(frame.converted_size.as_f64() * local_complexity, s.c_true)
                 + frame.converted_data / s.memory)
                 * s.client_share
-                * self.noise(&mut rng)
+                * self.noise(&mut rng, &mut pairs)
         } else {
             Seconds::ZERO
         };
@@ -839,6 +853,10 @@ impl TestbedSimulator {
     /// the [`stream::UPLINK_EDGE`] stream.
     fn stage_uplink_and_edge(&self, s: &mut FrameState<'_>, contention: Option<&ContentionPlan>) {
         let mut rng = self.stage_rng(stream::UPLINK_EDGE, s.frame_index);
+        // One pair cache across the server loop: even-indexed servers draw
+        // a fresh word pair, odd-indexed servers reuse the cached sine half
+        // (the interleaved jitter words leave the cache untouched).
+        let mut pairs = StandardNormalPairs::new();
         let scenario = s.scenario;
         let frame = &scenario.frame;
         let mut remote = Seconds::ZERO;
@@ -873,7 +891,7 @@ impl TestbedSimulator {
                     let infer = Self::ms(frame.encoded_size.as_f64() * remote_complexity, c_edge)
                         + frame.encoded_data / server.memory_bandwidth
                         + decode;
-                    remote = remote.max(infer * weight * self.noise(&mut rng));
+                    remote = remote.max(infer * weight * self.noise(&mut rng, &mut pairs));
 
                     let link = WirelessLink::new(server.technology, server.distance);
                     let link = match server.throughput {
@@ -901,6 +919,7 @@ impl TestbedSimulator {
     /// Bernoulli draw over the analytic per-window `P(HO)` stands in.
     fn stage_handoff(&self, s: &mut FrameState<'_>, session: &mut SessionState) {
         let mut rng = self.stage_rng(stream::HANDOFF, s.frame_index);
+        let mut pairs = StandardNormalPairs::new();
         let scenario = s.scenario;
         let handoff_latency = if s.uses_edge && scenario.mobility.speed.as_f64() > 0.0 {
             if let Some(topo) = session.topo.as_mut() {
@@ -914,7 +933,7 @@ impl TestbedSimulator {
                         HandoffKind::Horizontal => Seconds::new(0.065),
                         HandoffKind::Vertical => Seconds::new(1.2),
                     };
-                    latency += base * events.crossings as f64 * self.noise(&mut rng);
+                    latency += base * events.crossings as f64 * self.noise(&mut rng, &mut pairs);
                 }
                 if events.migrations > 0 {
                     session.migrations += events.migrations as u64;
@@ -922,9 +941,10 @@ impl TestbedSimulator {
                         .topology
                         .map_or(MigrationPolicy::Eager, |t| t.migration_policy);
                     let mut migration_rng = self.stage_rng(stream::MIGRATION, s.frame_index);
+                    let mut migration_pairs = StandardNormalPairs::new();
                     let migration = Self::migration_base(policy)
                         * events.migrations as f64
-                        * self.noise(&mut migration_rng);
+                        * self.noise(&mut migration_rng, &mut migration_pairs);
                     session.migration_time += migration;
                     latency += migration;
                 }
@@ -952,7 +972,7 @@ impl TestbedSimulator {
                         HandoffKind::Horizontal => Seconds::new(0.065),
                         HandoffKind::Vertical => Seconds::new(1.2),
                     };
-                    base * crossings as f64 * self.noise(&mut rng)
+                    base * crossings as f64 * self.noise(&mut rng, &mut pairs)
                 } else {
                     Seconds::ZERO
                 }
@@ -967,6 +987,7 @@ impl TestbedSimulator {
     /// result delivery over the first edge link (or local memory).
     fn stage_render(&self, s: &mut FrameState<'_>) {
         let mut rng = self.stage_rng(stream::RENDER, s.frame_index);
+        let mut pairs = StandardNormalPairs::new();
         let scenario = s.scenario;
         let frame = &scenario.frame;
         let result_payload = xr_types::MegaBytes::new(0.01);
@@ -982,7 +1003,7 @@ impl TestbedSimulator {
             result_payload / s.memory
         };
         let rendering = (Self::ms(frame.raw_size.as_f64(), s.c_true) + frame.raw_data / s.memory)
-            * self.noise(&mut rng)
+            * self.noise(&mut rng, &mut pairs)
             + s.buffering
             + result_delivery;
         s.latency[Segment::FrameRendering.slot()] = rendering;
@@ -991,10 +1012,11 @@ impl TestbedSimulator {
     /// Stage 9 — XR cooperation exchange.
     fn stage_cooperate(&self, s: &mut FrameState<'_>) {
         let mut rng = self.stage_rng(stream::COOPERATE, s.frame_index);
+        let mut pairs = StandardNormalPairs::new();
         let cooperation = &s.scenario.cooperation;
         let coop = (cooperation.payload / cooperation.throughput
             + cooperation.distance / SPEED_OF_LIGHT)
-            * self.noise(&mut rng);
+            * self.noise(&mut rng, &mut pairs);
         s.latency[Segment::XrCooperation.slot()] = coop;
     }
 

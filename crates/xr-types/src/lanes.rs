@@ -67,6 +67,18 @@ pub struct LaneStreams {
     s3: Vec<u64>,
 }
 
+/// `true` when `XR_FORCE_PORTABLE` is set (to anything but `0`): the lane
+/// engine then takes its portable passes even on AVX2 hosts. Mirrors the
+/// knob in the `rand_distr` shim's `math` module (this crate sits below it
+/// in the dependency graph, so the gate is duplicated rather than shared);
+/// both paths are bit-identical, so the knob never changes results — it
+/// only lets CI exercise the portable code on SIMD hardware.
+#[cfg(target_arch = "x86_64")]
+fn force_portable() -> bool {
+    static FORCE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCE.get_or_init(|| std::env::var_os("XR_FORCE_PORTABLE").is_some_and(|v| v != *"0"))
+}
+
 impl LaneStreams {
     /// An empty bank; call [`reseed`](LaneStreams::reseed) before drawing.
     #[must_use]
@@ -97,7 +109,7 @@ impl LaneStreams {
             self.s3.resize(width, 0);
         }
         #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
+        if !force_portable() && std::arch::is_x86_feature_detected!("avx2") {
             // SAFETY: AVX2 support was just confirmed at runtime.
             #[allow(unsafe_code)]
             unsafe {
@@ -149,7 +161,7 @@ impl LaneStreams {
             "output column width must match the seeded lane count"
         );
         #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
+        if !force_portable() && std::arch::is_x86_feature_detected!("avx2") {
             // SAFETY: AVX2 support was just confirmed at runtime.
             #[allow(unsafe_code)]
             unsafe {

@@ -89,6 +89,13 @@ proptest! {
         column::fill_uniform_range(lo, hi, &raw_a, &mut uniforms);
         lanes.fill_next(&mut raw_a);
         column::fill_exp(&exp, &raw_a, &mut exps);
+        // The kept-pair transform: one word-pair column yields both noise
+        // factors (cosine and sine halves).
+        let mut fac_cos = vec![0.0; width];
+        let mut fac_sin = vec![0.0; width];
+        lanes.fill_next(&mut raw_a);
+        lanes.fill_next(&mut raw_b);
+        column::fill_lognormal_pair(&normal, &raw_a, &raw_b, &mut fac_cos, &mut fac_sin);
 
         for j in 0..width {
             let mut rng = StdRng::seed_from_u64(seed::mix(stage_base, first_frame + j as u64));
@@ -98,8 +105,34 @@ proptest! {
             prop_assert!(uniforms[j] == scalar_uniform, "uniform lane {j}");
             let scalar_exp = exp.sample(&mut rng);
             prop_assert!(exps[j] == scalar_exp, "exp lane {j}");
+            // The scalar pipeline's noise: exp(N(0, σ)) through the cached
+            // pair sampler — two variates from one word pair.
+            let mut pairs = rand_distr::StandardNormalPairs::new();
+            let scalar_cos = rand_distr::math::exp(normal.from_standard(pairs.next(&mut rng)));
+            let scalar_sin = rand_distr::math::exp(normal.from_standard(pairs.next(&mut rng)));
+            prop_assert!(fac_cos[j] == scalar_cos, "pair cosine lane {j}");
+            prop_assert!(fac_sin[j] == scalar_sin, "pair sine lane {j}");
         }
     }
+}
+
+#[test]
+fn sigma_zero_columns_are_exactly_the_mean() {
+    // σ = 0 must collapse every column transform (and both engines' noise)
+    // to the deterministic mean — no ulp drift from the kernels — on the
+    // SIMD and portable passes alike.
+    let normal = Normal::new(0.25, 0.0).expect("σ = 0 is a valid Normal");
+    let words: Vec<u64> = (0..101u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let mut out = vec![f64::NAN; 101];
+    let mut out_sin = vec![f64::NAN; 101];
+    column::fill_normal(&normal, &words, &words, &mut out);
+    assert!(out.iter().all(|&v| v == 0.25), "fill_normal ignored σ = 0");
+    column::fill_lognormal_pair(&normal, &words, &words, &mut out, &mut out_sin);
+    let expected = rand_distr::math::exp(0.25);
+    assert!(out.iter().all(|&v| v == expected));
+    assert!(out_sin.iter().all(|&v| v == expected));
 }
 
 #[test]

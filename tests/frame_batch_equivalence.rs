@@ -164,3 +164,40 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn multi_server_uplink_keeps_the_pair_parity_across_engines() {
+    // The uplink stage draws one lognormal noise factor per edge server
+    // from a single per-frame stream: even-indexed servers consume a fresh
+    // Box–Muller pair (cosine half), odd-indexed servers reuse the cached
+    // sine half — with a uniform jitter word interleaved between servers.
+    // Odd and even server counts end the frame in different cache states,
+    // so run both against the scalar reference at awkward widths.
+    for server_count in [1usize, 2, 3, 4, 5] {
+        let servers: Vec<_> = (0..server_count)
+            .map(|i| {
+                let mut server = xr_core::EdgeServerConfig::jetson_xavier();
+                server.task_share = 1.0 / (i + 1) as f64;
+                server.distance = Meters::new(10.0 + 5.0 * i as f64);
+                server
+            })
+            .collect();
+        let scenario = Scenario::builder()
+            .frame_side(512.0)
+            .execution(ExecutionTarget::Remote)
+            .edge_servers(servers)
+            .build()
+            .expect("multi-server scenario is valid");
+        let testbed = TestbedSimulator::new(4242);
+        let scalar = testbed.simulate_session_scalar(&scenario, 70).unwrap();
+        for width in [1usize, 7, 64, 128] {
+            let batched = testbed
+                .simulate_session_batched(&scenario, 70, width)
+                .unwrap();
+            assert_eq!(
+                batched, scalar,
+                "engines diverged with {server_count} servers at width {width}"
+            );
+        }
+    }
+}
