@@ -10,13 +10,23 @@
 //! parsed by `xr_sweep::parse_grid_spec` (see that module's docs for the
 //! `key = value` format), so campaigns can change without recompiling.
 //!
-//! The CSV is bit-identical for every worker count (`XR_SWEEP_WORKERS`) and
+//! `--shard i/N` runs only the points `p % N == i - 1` (seeded by original
+//! grid index) into `campaign_shard_<i>of<N>.csv` plus a `.manifest`, with
+//! an fsync'd `.checkpoint` (`--checkpoint-every <rows>` sets the cadence)
+//! so a killed shard resumes at the last durable row; `campaign_merge`
+//! interleaves the shard CSVs back into the unsharded artifact byte for
+//! byte.
+//!
+//! The CSV is bit-identical for every worker count (`XR_SWEEP_WORKERS`),
 //! for both session engines (`--scalar-sessions` forces the scalar
-//! reference); CI runs this binary under both axes and diffs the artifacts.
+//! reference), and for any within-session split (`--session-chunks`,
+//! `XR_SESSION_CHUNKS`); CI runs this binary under all three axes and
+//! diffs the artifacts.
 
 use xr_experiments::campaign::{quick_grid, run_campaign, CAMPAIGN_HEADER};
+use xr_experiments::shard_campaign::{run_campaign_shard_with, shard_csv_name};
 use xr_experiments::{output, ExperimentContext};
-use xr_sweep::{parse_grid_spec, SweepGrid};
+use xr_sweep::{parse_grid_spec, ShardSpec, SweepGrid, DEFAULT_SYNC_EVERY};
 
 /// Resolves the campaign grid: `--grid <file>` when given, the built-in
 /// quick grid otherwise.
@@ -45,9 +55,77 @@ fn grid_from_args() -> SweepGrid {
     }
 }
 
+/// Resolves `--shard i/N`: `None` without the flag, exit 2 on a malformed
+/// or out-of-range spec.
+fn shard_from_args() -> Option<ShardSpec> {
+    let args: Vec<String> = std::env::args().collect();
+    let position = args.iter().position(|a| a == "--shard")?;
+    let Some(token) = args.get(position + 1) else {
+        eprintln!("--shard requires a spec like `2/4`");
+        std::process::exit(2);
+    };
+    match ShardSpec::parse(token) {
+        Ok(shard) => Some(shard),
+        Err(error) => {
+            eprintln!("invalid --shard: {error}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Resolves `--checkpoint-every <rows>`: the fsync cadence of the shard
+/// checkpoint, defaulting to every row; exit 2 on a malformed count.
+fn checkpoint_every_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(position) = args.iter().position(|a| a == "--checkpoint-every") else {
+        return DEFAULT_SYNC_EVERY;
+    };
+    let Some(token) = args.get(position + 1) else {
+        eprintln!("--checkpoint-every requires a row count");
+        std::process::exit(2);
+    };
+    match token.parse::<usize>() {
+        Ok(rows) if rows >= 1 => rows,
+        _ => {
+            eprintln!("invalid --checkpoint-every: `{token}` is not a row count of at least 1");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let grid = grid_from_args();
+    let checkpoint_every = checkpoint_every_from_args();
     let ctx = ExperimentContext::from_args();
+    if let Some(shard) = shard_from_args() {
+        let dir = output::artifact_dir();
+        std::fs::create_dir_all(&dir).expect("cannot create the artifact directory");
+        let csv_path = dir.join(shard_csv_name(shard));
+        let report = run_campaign_shard_with(
+            &ctx,
+            &grid,
+            &ctx.runner(),
+            shard,
+            &csv_path,
+            checkpoint_every,
+        )
+        .unwrap_or_else(|error| {
+            eprintln!("shard campaign failed: {error}");
+            std::process::exit(1);
+        });
+        println!(
+            "shard {shard}: {} row(s) resumed from checkpoint, {} evaluated ({} worker(s)); csv written to {}",
+            report.resumed_rows,
+            report.evaluated_rows,
+            ctx.runner().workers(),
+            report.csv_path.display()
+        );
+        return;
+    }
+    if std::env::args().any(|a| a == "--checkpoint-every") {
+        eprintln!("--checkpoint-every only applies to a sharded run (--shard i/N)");
+        std::process::exit(2);
+    }
     let rows = run_campaign(&ctx, &grid).expect("campaign failed");
     let cells: Vec<Vec<String>> = rows.iter().map(|r| r.cells()).collect();
     output::print_experiment(

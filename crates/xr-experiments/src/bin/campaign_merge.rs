@@ -1,0 +1,60 @@
+//! Merges shard campaign CSVs back into the unsharded artifact.
+//!
+//! ```text
+//! campaign_merge --out target/experiments/campaign.csv \
+//!     target/experiments/campaign_shard_1of3.csv \
+//!     target/experiments/campaign_shard_2of3.csv \
+//!     target/experiments/campaign_shard_3of3.csv
+//! ```
+//!
+//! Each shard CSV must sit next to its `.manifest` (written by `campaign
+//! --shard i/N`). The merge validates that every manifest names the same
+//! campaign seed, grid fingerprint and grid size, that the shard set is a
+//! disjoint complete cover, and that each CSV carries exactly its declared
+//! rows — then interleaves the rows back into canonical grid order. The
+//! output is **byte-identical** to the `campaign.csv` of an unsharded run.
+
+use std::path::PathBuf;
+use xr_experiments::shard_campaign::merge_campaign_csvs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(position) = args.iter().position(|a| a == "--out") else {
+        eprintln!("usage: campaign_merge --out <merged.csv> <shard.csv>...");
+        std::process::exit(2);
+    };
+    let Some(out_path) = args.get(position + 1).map(PathBuf::from) else {
+        eprintln!("--out requires a file path");
+        std::process::exit(2);
+    };
+    let shard_paths: Vec<PathBuf> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != position && *i != position + 1)
+        .map(|(_, a)| PathBuf::from(a))
+        .collect();
+    if shard_paths.is_empty() {
+        eprintln!("usage: campaign_merge --out <merged.csv> <shard.csv>...");
+        std::process::exit(2);
+    }
+    let merged = match merge_campaign_csvs(&shard_paths) {
+        Ok(merged) => merged,
+        Err(error) => {
+            eprintln!("cannot merge shards: {error}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(parent) = out_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(error) = std::fs::write(&out_path, &merged) {
+        eprintln!("cannot write {}: {error}", out_path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "merged {} shard(s) into {} ({} data row(s))",
+        shard_paths.len(),
+        out_path.display(),
+        merged.lines().count().saturating_sub(1)
+    );
+}

@@ -250,10 +250,35 @@ pub fn run_campaign_streaming_with(
     runner: &CampaignRunner,
     mut sink: impl FnMut(usize, CampaignRow) + Send,
 ) -> Result<()> {
-    let points = grid.points()?;
+    let subset: Vec<(usize, OperatingPoint)> = grid.points()?.into_iter().enumerate().collect();
+    run_campaign_subset_streaming_with(ctx, grid, runner, &subset, |index, row| {
+        sink(index, row);
+    })
+}
+
+/// The core campaign evaluator: streams aggregated rows for an explicitly
+/// indexed **subset** of a grid's points, in subset order. Each pair carries
+/// the point's index in the full grid enumeration; replication seeds derive
+/// from that original index, so a shard's rows are bit-identical to the same
+/// rows of an unsharded campaign. [`run_campaign_streaming_with`] passes the
+/// whole grid; the sharded campaign path passes its round-robin slice.
+///
+/// # Errors
+///
+/// Propagates grid, scenario and model errors.
+pub fn run_campaign_subset_streaming_with(
+    ctx: &ExperimentContext,
+    grid: &SweepGrid,
+    runner: &CampaignRunner,
+    subset: &[(usize, OperatingPoint)],
+    mut sink: impl FnMut(usize, CampaignRow) + Send,
+) -> Result<()> {
     let replications = grid.replications();
-    runner.run_replicated_streaming(
-        &points,
+    // Rows stream back in subset order, so the sink can walk the subset in
+    // lock-step to recover each row's operating point.
+    let mut slot = 0usize;
+    runner.run_indexed_replicated_streaming(
+        subset,
         replications,
         |rep_ctx, point: &OperatingPoint| {
             let scenario = ctx.scenario_for(point)?;
@@ -292,6 +317,9 @@ pub fn run_campaign_streaming_with(
             })
         },
         |point_index, samples: Vec<RepSample>| {
+            let (original, ref point) = subset[slot];
+            debug_assert_eq!(original, point_index, "rows must stream in subset order");
+            slot += 1;
             let latencies: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
             let energies: Vec<f64> = samples.iter().map(|s| s.energy_mj).collect();
             let handoff_rate =
@@ -308,8 +336,8 @@ pub fn run_campaign_streaming_with(
             sink(
                 point_index,
                 CampaignRow {
-                    point: points[point_index].clone(),
-                    frames_per_session: ctx.frames_for(&points[point_index]),
+                    point: point.clone(),
+                    frames_per_session: ctx.frames_for(point),
                     replications: samples.len(),
                     gt_latency_ms: ReplicateStats::of(&latencies),
                     gt_energy_mj: ReplicateStats::of(&energies),

@@ -77,7 +77,35 @@ impl ExperimentContext {
         if std::env::args().any(|a| a == "--scalar-sessions") {
             ctx = ctx.with_scalar_sessions();
         }
+        let args: Vec<String> = std::env::args().collect();
+        let chunks = args
+            .iter()
+            .position(|a| a == "--session-chunks")
+            .and_then(|position| args.get(position + 1))
+            .cloned()
+            .or_else(|| std::env::var("XR_SESSION_CHUNKS").ok())
+            .map(|token| {
+                token.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("invalid session-chunk count `{token}`");
+                    std::process::exit(2);
+                })
+            });
+        if let Some(chunks) = chunks {
+            ctx = ctx.with_session_chunks(chunks);
+        }
         ctx
+    }
+
+    /// This context with every ground-truth session split across `chunks`
+    /// frame ranges simulated on parallel lanes (clamped to at least 1).
+    /// Splitting is bit-identical to a whole-session run by the range
+    /// engine's contract, so artifacts do not change — only wall-clock time
+    /// per session does. `--session-chunks <n>` / `XR_SESSION_CHUNKS` wire
+    /// this up for the experiment binaries.
+    #[must_use]
+    pub fn with_session_chunks(mut self, chunks: usize) -> Self {
+        self.testbed = self.testbed.with_session_chunks(chunks);
+        self
     }
 
     /// This context with ground-truth sessions simulated by the scalar

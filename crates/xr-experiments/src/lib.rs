@@ -42,6 +42,7 @@ pub mod mobility_experiments;
 pub mod output;
 pub mod regression_report;
 pub mod scaling_experiments;
+pub mod shard_campaign;
 pub mod tables;
 pub mod topology_experiments;
 
@@ -56,4 +57,5 @@ pub use figures::{SweepPoint, SweepResult};
 pub use mobility_experiments::MobilityPoint;
 pub use regression_report::RegressionReport;
 pub use scaling_experiments::ScalingPoint;
+pub use shard_campaign::{merge_campaign_csvs, run_campaign_shard_with, ShardRunReport};
 pub use topology_experiments::TopologyPoint;

@@ -1,0 +1,483 @@
+//! Append-only per-shard checkpoints: crash-resumable campaign progress.
+//!
+//! A sharded campaign emits rows in canonical point order (the hold-back
+//! collector guarantees it), so "progress" is exactly a prefix of the
+//! shard's owned points. The checkpoint file records that prefix as one
+//! `done <point>` line per completed point, appended after the row is in
+//! the artifact and fsync'd every [`ShardCheckpoint::sync_every`] records —
+//! a SIGKILL'd shard resumes at the last durable unit instead of
+//! restarting.
+//!
+//! The file opens with a header carrying the campaign seed, the grid
+//! fingerprint ([`crate::SweepGrid::fingerprint`]), the grid size, and the
+//! shard spec; reopening against a different campaign is *stale* and
+//! refused loudly. Loading is torn-write tolerant: the longest valid prefix
+//! of records wins, and anything after it (a partial last line from a crash
+//! mid-write, or trailing corruption) is truncated before appending
+//! resumes.
+
+use crate::shard::ShardSpec;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use xr_types::{Error, Result};
+
+/// First line of every checkpoint file; bump the version to invalidate old
+/// layouts instead of misreading them.
+const MAGIC: &str = "# xr-sweep shard checkpoint v1";
+
+/// Default fsync cadence: records per `fdatasync`. 1 is the safest (every
+/// completed point is durable) and row evaluation dwarfs the sync cost at
+/// campaign scale; raise it for very fast grids.
+pub const DEFAULT_SYNC_EVERY: usize = 1;
+
+fn io_error(path: &Path, op: &str, error: &std::io::Error) -> Error {
+    Error::InvalidConfiguration(format!(
+        "checkpoint {}: {op} failed: {error}",
+        path.display()
+    ))
+}
+
+fn stale_error(
+    path: &Path,
+    field: &str,
+    found: impl std::fmt::Display,
+    expected: impl std::fmt::Display,
+) -> Error {
+    Error::invalid_parameter(
+        "checkpoint",
+        format!(
+            "stale checkpoint {}: its {field} is {found} but this campaign's is {expected} — delete the file or rerun the original campaign",
+            path.display()
+        ),
+    )
+}
+
+/// The campaign identity a checkpoint belongs to. Two runs may share a
+/// checkpoint iff every field matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// The campaign seed every replication seed derives from.
+    pub campaign_seed: u64,
+    /// [`crate::SweepGrid::fingerprint`] of the swept grid.
+    pub grid_fingerprint: u64,
+    /// Number of operating points in the full grid.
+    pub points: usize,
+    /// Which shard of how many this checkpoint tracks.
+    pub shard: ShardSpec,
+}
+
+impl CheckpointHeader {
+    fn render(&self) -> String {
+        format!(
+            "{MAGIC}\n\
+             campaign_seed = {}\n\
+             grid_fingerprint = {}\n\
+             points = {}\n\
+             shard = {}\n",
+            self.campaign_seed, self.grid_fingerprint, self.points, self.shard
+        )
+    }
+}
+
+/// An open, appendable shard checkpoint. See the module docs for the file
+/// format and durability contract.
+#[derive(Debug)]
+pub struct ShardCheckpoint {
+    path: PathBuf,
+    file: File,
+    completed: Vec<usize>,
+    /// Byte offset of the end of each valid record, so truncation lands on
+    /// record boundaries exactly.
+    record_ends: Vec<u64>,
+    header_len: u64,
+    unsynced: usize,
+    sync_every: usize,
+}
+
+impl ShardCheckpoint {
+    /// Opens (or creates) the checkpoint at `path` for the campaign
+    /// identified by `header`, fsync'ing every `sync_every` records
+    /// (clamped to at least 1).
+    ///
+    /// An existing file is validated against `header` — any mismatch is a
+    /// stale checkpoint and refused — then loaded tolerantly: the longest
+    /// valid prefix of `done <point>` records becomes
+    /// [`ShardCheckpoint::completed`], and the file is truncated to that
+    /// prefix so a torn tail cannot corrupt subsequent appends.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a corrupt or foreign header, and stale checkpoints.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        header: CheckpointHeader,
+        sync_every: usize,
+    ) -> Result<Self> {
+        let path = path.into();
+        let sync_every = sync_every.max(1);
+        let exists = path.exists();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_error(&path, "open", &e))?;
+        let rendered = header.render();
+        let header_len = rendered.len() as u64;
+        if !exists {
+            file.write_all(rendered.as_bytes())
+                .map_err(|e| io_error(&path, "write header", &e))?;
+            file.sync_data().map_err(|e| io_error(&path, "sync", &e))?;
+            return Ok(Self {
+                path,
+                file,
+                completed: Vec::new(),
+                record_ends: Vec::new(),
+                header_len,
+                unsynced: 0,
+                sync_every,
+            });
+        }
+        let mut text = String::new();
+        file.read_to_string(&mut text)
+            .map_err(|e| io_error(&path, "read", &e))?;
+        let (completed, record_ends, header_len) = Self::validate(&path, &text, &header)?;
+        // Drop the torn/corrupt tail (if any) so appends start at a record
+        // boundary.
+        let valid_end = record_ends.last().copied().unwrap_or(header_len);
+        file.set_len(valid_end)
+            .map_err(|e| io_error(&path, "truncate", &e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| io_error(&path, "seek", &e))?;
+        Ok(Self {
+            path,
+            file,
+            completed,
+            record_ends,
+            header_len,
+            unsynced: 0,
+            sync_every,
+        })
+    }
+
+    /// Validates the header of an existing file against the campaign and
+    /// returns the valid record prefix with each record's end offset, plus
+    /// the byte offset where the header ends.
+    fn validate(
+        path: &Path,
+        text: &str,
+        expected: &CheckpointHeader,
+    ) -> Result<(Vec<usize>, Vec<u64>, u64)> {
+        let corrupt = |what: &str| {
+            Error::invalid_parameter(
+                "checkpoint",
+                format!(
+                    "corrupt checkpoint {}: {what} — delete the file to restart the shard",
+                    path.display()
+                ),
+            )
+        };
+        let mut offset = 0u64;
+        let mut lines = Vec::new(); // (line, end_offset, complete)
+        for line in text.split_inclusive('\n') {
+            offset += line.len() as u64;
+            let complete = line.ends_with('\n');
+            lines.push((line.trim_end_matches('\n'), offset, complete));
+        }
+        let mut it = lines.into_iter();
+        let (magic, _, magic_complete) = it.next().ok_or_else(|| corrupt("empty file"))?;
+        if magic != MAGIC || !magic_complete {
+            return Err(corrupt("unrecognized first line"));
+        }
+        let mut fields: [(&str, Option<String>); 4] = [
+            ("campaign_seed", None),
+            ("grid_fingerprint", None),
+            ("points", None),
+            ("shard", None),
+        ];
+        let mut header_end = 0u64;
+        for field in &mut fields {
+            let (line, end, complete) = it.next().ok_or_else(|| corrupt("incomplete header"))?;
+            if !complete {
+                return Err(corrupt("incomplete header"));
+            }
+            let value = line
+                .strip_prefix(field.0)
+                .and_then(|rest| rest.trim_start().strip_prefix('='))
+                .map(str::trim)
+                .ok_or_else(|| corrupt("incomplete header"))?;
+            field.1 = Some(value.to_string());
+            header_end = end;
+        }
+        let parse_u64 = |value: &str| {
+            value
+                .parse::<u64>()
+                .map_err(|_| corrupt("unreadable header value"))
+        };
+        let found = CheckpointHeader {
+            campaign_seed: parse_u64(fields[0].1.as_deref().expect("filled"))?,
+            grid_fingerprint: parse_u64(fields[1].1.as_deref().expect("filled"))?,
+            points: parse_u64(fields[2].1.as_deref().expect("filled"))? as usize,
+            shard: ShardSpec::parse(fields[3].1.as_deref().expect("filled"))
+                .map_err(|_| corrupt("unreadable shard spec"))?,
+        };
+        if found.grid_fingerprint != expected.grid_fingerprint {
+            return Err(stale_error(
+                path,
+                "grid fingerprint",
+                found.grid_fingerprint,
+                expected.grid_fingerprint,
+            ));
+        }
+        if found.campaign_seed != expected.campaign_seed {
+            return Err(stale_error(
+                path,
+                "campaign seed",
+                found.campaign_seed,
+                expected.campaign_seed,
+            ));
+        }
+        if found.points != expected.points {
+            return Err(stale_error(
+                path,
+                "grid size",
+                found.points,
+                expected.points,
+            ));
+        }
+        if found.shard != expected.shard {
+            return Err(stale_error(path, "shard spec", found.shard, expected.shard));
+        }
+        // Longest valid record prefix; a torn or malformed tail is simply
+        // not-yet-done work.
+        let mut completed = Vec::new();
+        let mut record_ends = Vec::new();
+        for (line, end, complete) in it {
+            let Some(point) = complete
+                .then(|| line.strip_prefix("done "))
+                .flatten()
+                .and_then(|n| n.parse::<usize>().ok())
+            else {
+                break;
+            };
+            completed.push(point);
+            record_ends.push(end);
+        }
+        Ok((completed, record_ends, header_end))
+    }
+
+    /// The points recorded as completed, in completion (= canonical) order.
+    #[must_use]
+    pub fn completed(&self) -> &[usize] {
+        &self.completed
+    }
+
+    /// The checkpoint file's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The configured fsync cadence (records per sync).
+    #[must_use]
+    pub fn sync_every(&self) -> usize {
+        self.sync_every
+    }
+
+    /// Drops all but the first `keep` records — used when the artifact the
+    /// checkpoint describes turns out to be shorter (e.g. a crash lost
+    /// buffered CSV rows the checkpoint had already made durable).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn truncate_to(&mut self, keep: usize) -> Result<()> {
+        if keep >= self.completed.len() {
+            return Ok(());
+        }
+        self.completed.truncate(keep);
+        self.record_ends.truncate(keep);
+        let end = self.record_ends.last().copied().unwrap_or(self.header_len);
+        self.file
+            .set_len(end)
+            .map_err(|e| io_error(&self.path, "truncate", &e))?;
+        self.file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| io_error(&self.path, "seek", &e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| io_error(&self.path, "sync", &e))?;
+        Ok(())
+    }
+
+    /// Appends a completed point, fsync'ing when the cadence comes due.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn record(&mut self, point: usize) -> Result<()> {
+        let line = format!("done {point}\n");
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| io_error(&self.path, "append", &e))?;
+        let end = self.record_ends.last().copied().unwrap_or(self.header_len) + line.len() as u64;
+        self.completed.push(point);
+        self.record_ends.push(end);
+        self.unsynced += 1;
+        if self.unsynced >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces pending records to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| io_error(&self.path, "sync", &e))?;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xr-sweep-checkpoint-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn header() -> CheckpointHeader {
+        CheckpointHeader {
+            campaign_seed: 2024,
+            grid_fingerprint: 0xFEED_F00D,
+            points: 96,
+            shard: ShardSpec::parse("2/3").unwrap(),
+        }
+    }
+
+    #[test]
+    fn records_survive_reopen() {
+        let path = scratch("reopen.ckpt");
+        let mut ckpt = ShardCheckpoint::open(&path, header(), 2).unwrap();
+        assert!(ckpt.completed().is_empty());
+        for p in [1usize, 4, 7] {
+            ckpt.record(p).unwrap();
+        }
+        ckpt.sync().unwrap();
+        drop(ckpt);
+        let ckpt = ShardCheckpoint::open(&path, header(), 2).unwrap();
+        assert_eq!(ckpt.completed(), &[1, 4, 7]);
+    }
+
+    #[test]
+    fn stale_checkpoints_are_refused() {
+        let path = scratch("stale.ckpt");
+        let mut ckpt = ShardCheckpoint::open(&path, header(), 1).unwrap();
+        ckpt.record(1).unwrap();
+        drop(ckpt);
+        let mut other = header();
+        other.grid_fingerprint ^= 1;
+        let err = ShardCheckpoint::open(&path, other, 1)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("stale checkpoint"), "{err}");
+        assert!(err.contains("grid fingerprint"), "{err}");
+        let mut other = header();
+        other.campaign_seed = 7;
+        let err = ShardCheckpoint::open(&path, other, 1)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("campaign seed"), "{err}");
+        let mut other = header();
+        other.shard = ShardSpec::parse("1/3").unwrap();
+        let err = ShardCheckpoint::open(&path, other, 1)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("shard spec"), "{err}");
+        // The original campaign still resumes.
+        let ckpt = ShardCheckpoint::open(&path, header(), 1).unwrap();
+        assert_eq!(ckpt.completed(), &[1]);
+    }
+
+    #[test]
+    fn torn_tails_resume_at_the_valid_prefix() {
+        let path = scratch("torn.ckpt");
+        let mut ckpt = ShardCheckpoint::open(&path, header(), 1).unwrap();
+        for p in [1usize, 4, 7, 10] {
+            ckpt.record(p).unwrap();
+        }
+        drop(ckpt);
+        let full = std::fs::read(&path).unwrap();
+
+        // Torn mid-record: cut the file anywhere inside the last record.
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let ckpt = ShardCheckpoint::open(&path, header(), 1).unwrap();
+        assert_eq!(ckpt.completed(), &[1, 4, 7]);
+        drop(ckpt);
+        // …and the truncated file now ends on the record boundary, so a
+        // fresh append produces a clean record stream.
+        let mut ckpt = ShardCheckpoint::open(&path, header(), 1).unwrap();
+        ckpt.record(10).unwrap();
+        drop(ckpt);
+        assert_eq!(std::fs::read(&path).unwrap(), full);
+
+        // Garbage interior line: the prefix before it wins.
+        let mut garbled = full.clone();
+        let done7 = b"done 7\n";
+        let at = full.windows(done7.len()).position(|w| w == done7).unwrap();
+        garbled[at] = b'x';
+        std::fs::write(&path, &garbled).unwrap();
+        let ckpt = ShardCheckpoint::open(&path, header(), 1).unwrap();
+        assert_eq!(ckpt.completed(), &[1, 4]);
+    }
+
+    #[test]
+    fn truncate_to_rewinds_records() {
+        let path = scratch("rewind.ckpt");
+        let mut ckpt = ShardCheckpoint::open(&path, header(), 1).unwrap();
+        for p in [1usize, 4, 7] {
+            ckpt.record(p).unwrap();
+        }
+        ckpt.truncate_to(1).unwrap();
+        assert_eq!(ckpt.completed(), &[1]);
+        ckpt.record(4).unwrap();
+        drop(ckpt);
+        let ckpt = ShardCheckpoint::open(&path, header(), 1).unwrap();
+        assert_eq!(ckpt.completed(), &[1, 4]);
+    }
+
+    #[test]
+    fn corrupt_headers_are_named() {
+        let path = scratch("corrupt.ckpt");
+        std::fs::write(&path, "not a checkpoint\n").unwrap();
+        let err = ShardCheckpoint::open(&path, header(), 1)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("corrupt checkpoint"), "{err}");
+        std::fs::write(&path, format!("{MAGIC}\ncampaign_seed = 2024\n")).unwrap();
+        let err = ShardCheckpoint::open(&path, header(), 1)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("incomplete header"), "{err}");
+    }
+
+    #[test]
+    fn sync_cadence_clamps_and_reports() {
+        let path = scratch("cadence.ckpt");
+        let ckpt = ShardCheckpoint::open(&path, header(), 0).unwrap();
+        assert_eq!(ckpt.sync_every(), 1);
+        assert_eq!(DEFAULT_SYNC_EVERY, 1);
+    }
+}

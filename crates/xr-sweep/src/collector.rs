@@ -10,21 +10,58 @@ use std::collections::BTreeMap;
 /// as they finish, the collector holds back anything ahead of a gap, and the
 /// sink only ever observes rows in index order — so the written artifact is
 /// byte-identical to a sequential run.
+///
+/// The hold-back window can be **bounded** ([`InOrderCollector::with_cap`]):
+/// one slow point must not let faster workers race ahead and buffer an
+/// entire campaign in memory. A bounded collector never exceeds its cap —
+/// callers consult [`InOrderCollector::accepts`] before pushing and apply
+/// backpressure (block the producing worker) when the window is full, as
+/// [`crate::CampaignRunner`]'s streaming paths do.
 #[derive(Debug)]
 pub struct InOrderCollector<R, F: FnMut(usize, R)> {
     next: usize,
     pending: BTreeMap<usize, R>,
+    /// Maximum held-back results; `None` is unbounded.
+    cap: Option<usize>,
+    /// Largest `pending` size ever observed — the memory high-water mark.
+    high_water: usize,
     sink: F,
 }
 
 impl<R, F: FnMut(usize, R)> InOrderCollector<R, F> {
-    /// A collector forwarding in-order results to `sink`.
+    /// A collector forwarding in-order results to `sink`, with an unbounded
+    /// hold-back window.
     pub fn new(sink: F) -> Self {
         Self {
             next: 0,
             pending: BTreeMap::new(),
+            cap: None,
+            high_water: 0,
             sink,
         }
+    }
+
+    /// Bounds the hold-back window to at most `cap` buffered results
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn with_cap(mut self, cap: usize) -> Self {
+        self.cap = Some(cap.max(1));
+        self
+    }
+
+    /// The configured hold-back bound; `None` is unbounded.
+    #[must_use]
+    pub fn cap(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// `true` when the result for `index` may be pushed without growing the
+    /// buffer past the cap. The next-in-order index is always accepted — it
+    /// flows straight through to the sink (draining the buffer), so
+    /// backpressure can never deadlock the one worker able to fill the gap.
+    #[must_use]
+    pub fn accepts(&self, index: usize) -> bool {
+        index == self.next || self.cap.is_none_or(|cap| self.pending.len() < cap)
     }
 
     /// Accepts the result for `index`, emitting it (and any directly
@@ -33,14 +70,30 @@ impl<R, F: FnMut(usize, R)> InOrderCollector<R, F> {
     /// # Panics
     ///
     /// Panics if `index` was already emitted or is already pending — a
-    /// duplicate index means the campaign evaluated a point twice.
+    /// duplicate index means the campaign evaluated a point twice — or if
+    /// the push overflows a bounded window (callers gate on
+    /// [`InOrderCollector::accepts`]).
     pub fn push(&mut self, index: usize, value: R) {
         assert!(
             index >= self.next,
             "duplicate result for already-emitted point {index}"
         );
-        let duplicate = self.pending.insert(index, value);
-        assert!(duplicate.is_none(), "duplicate result for point {index}");
+        assert!(
+            self.accepts(index),
+            "hold-back window overflow: point {index} pushed with {} already buffered (cap {:?})",
+            self.pending.len(),
+            self.cap
+        );
+        if index == self.next {
+            // The gap-filler flows straight through without touching the
+            // buffer, so a bounded window never transiently exceeds its cap.
+            (self.sink)(self.next, value);
+            self.next += 1;
+        } else {
+            let duplicate = self.pending.insert(index, value);
+            assert!(duplicate.is_none(), "duplicate result for point {index}");
+            self.high_water = self.high_water.max(self.pending.len());
+        }
         while let Some(value) = self.pending.remove(&self.next) {
             (self.sink)(self.next, value);
             self.next += 1;
@@ -51,6 +104,18 @@ impl<R, F: FnMut(usize, R)> InOrderCollector<R, F> {
     #[must_use]
     pub fn emitted(&self) -> usize {
         self.next
+    }
+
+    /// Number of results currently held back waiting for a gap to fill.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The largest number of results ever held back at once.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// `true` when nothing is held back waiting for a gap to fill.
@@ -77,6 +142,7 @@ mod tests {
         assert_eq!(*seen.borrow(), vec![(0, "a"), (1, "b"), (2, "c")]);
         assert!(collector.is_drained());
         assert_eq!(collector.emitted(), 3);
+        assert_eq!(collector.high_water(), 1, "only point 2 was ever buffered");
     }
 
     #[test]
@@ -85,5 +151,38 @@ mod tests {
         let mut collector = InOrderCollector::new(|_, _: u8| {});
         collector.push(0, 1);
         collector.push(0, 2);
+    }
+
+    #[test]
+    fn bounded_windows_gate_admission_but_never_the_gap_filler() {
+        let mut collector = InOrderCollector::new(|_, _: u8| {}).with_cap(2);
+        assert_eq!(collector.cap(), Some(2));
+        collector.push(3, 0);
+        collector.push(1, 0);
+        assert_eq!(collector.pending_len(), 2);
+        // The window is full: run-ahead indices are refused…
+        assert!(!collector.accepts(2));
+        assert!(!collector.accepts(9));
+        // …but the next-in-order index always gets through (it drains).
+        assert!(collector.accepts(0));
+        collector.push(0, 0);
+        assert_eq!(collector.emitted(), 2);
+        assert_eq!(collector.pending_len(), 1);
+        assert!(collector.accepts(2));
+        assert_eq!(collector.high_water(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "hold-back window overflow")]
+    fn overflowing_a_bounded_window_panics() {
+        let mut collector = InOrderCollector::new(|_, _: u8| {}).with_cap(1);
+        collector.push(1, 0);
+        collector.push(2, 0);
+    }
+
+    #[test]
+    fn caps_clamp_to_one() {
+        let collector = InOrderCollector::new(|_, _: u8| {}).with_cap(0);
+        assert_eq!(collector.cap(), Some(1));
     }
 }

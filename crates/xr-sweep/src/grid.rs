@@ -353,6 +353,113 @@ impl SweepGrid {
         self.len() == 0
     }
 
+    /// A 64-bit fingerprint of the grid's exact contents: every axis value
+    /// (floats by bit pattern, labels by bytes) and the replication count,
+    /// folded through the workspace's SplitMix64 chain ([`xr_types::seed`])
+    /// with a distinct tag per axis so reordered or re-typed values cannot
+    /// collide by construction of the input encoding.
+    ///
+    /// Two grids fingerprint equally iff they enumerate the same points with
+    /// the same replications — this is what shard manifests and checkpoint
+    /// files carry to detect merging or resuming against the wrong grid.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use xr_types::seed::mix;
+        fn fold_f64s(h: u64, tag: u64, values: impl IntoIterator<Item = Option<f64>>) -> u64 {
+            let mut h = mix(h, tag);
+            let mut len = 0u64;
+            for value in values {
+                h = match value {
+                    // `to_bits` keeps -0.0 ≠ 0.0 and NaN payloads distinct;
+                    // identity is "same bits", matching CSV formatting.
+                    Some(v) => mix(mix(h, 1), v.to_bits()),
+                    None => mix(h, 0),
+                };
+                len += 1;
+            }
+            mix(h, len)
+        }
+        fn fold_str(h: u64, s: &str) -> u64 {
+            let mut h = mix(h, s.len() as u64);
+            for chunk in s.as_bytes().chunks(8) {
+                let mut word = [0u8; 8];
+                word[..chunk.len()].copy_from_slice(chunk);
+                h = mix(h, u64::from_le_bytes(word));
+            }
+            h
+        }
+        // Version tag: bump if the encoding ever changes, so stale
+        // checkpoints from older layouts are detected rather than trusted.
+        let mut h = mix(0x7852_5347_5249_4431, 1); // "xRSGRID1", v1
+        h = fold_f64s(h, 1, self.frame_sizes.iter().map(|&v| Some(v)));
+        h = fold_f64s(h, 2, self.cpu_clocks.iter().map(|&v| Some(v)));
+        h = mix(h, 3);
+        for execution in &self.executions {
+            h = match execution {
+                ExecutionTarget::Local => mix(h, 1),
+                ExecutionTarget::Remote => mix(h, 2),
+                ExecutionTarget::Split { client_share } => mix(mix(h, 3), client_share.to_bits()),
+            };
+        }
+        h = mix(h, self.executions.len() as u64);
+        h = mix(h, 4);
+        for device in &self.devices {
+            h = fold_str(h, device);
+        }
+        h = mix(h, self.devices.len() as u64);
+        h = mix(h, 5);
+        for w in &self.wireless {
+            h = fold_str(h, &w.label);
+            h = fold_f64s(h, 0, [w.distance_m, w.throughput_mbps]);
+        }
+        h = mix(h, self.wireless.len() as u64);
+        h = mix(h, 6);
+        for m in &self.mobility {
+            h = fold_str(h, &m.label);
+            h = fold_f64s(h, 0, [Some(m.speed_mps), Some(m.coverage_radius_m)]);
+        }
+        h = mix(h, self.mobility.len() as u64);
+        h = mix(h, 7);
+        for frames in &self.frames_per_session {
+            h = match frames {
+                Some(f) => mix(mix(h, 1), *f),
+                None => mix(h, 0),
+            };
+        }
+        h = mix(h, self.frames_per_session.len() as u64);
+        h = mix(h, 8);
+        for users in &self.users_per_edge {
+            h = match users {
+                Some(u) => mix(mix(h, 1), u64::from(*u)),
+                None => mix(h, 0),
+            };
+        }
+        h = mix(h, self.users_per_edge.len() as u64);
+        h = fold_f64s(h, 9, self.frame_rates.iter().copied());
+        h = mix(h, 10);
+        for layout in &self.topologies {
+            h = match layout {
+                None => mix(h, 0),
+                Some(TopologyLayout::Single) => mix(h, 1),
+                Some(TopologyLayout::Square) => mix(h, 2),
+                Some(TopologyLayout::Hex) => mix(h, 3),
+                Some(TopologyLayout::Voronoi) => mix(h, 4),
+            };
+        }
+        h = mix(h, self.topologies.len() as u64);
+        h = fold_f64s(h, 11, self.site_densities.iter().copied());
+        h = mix(h, 12);
+        for policy in &self.migration_policies {
+            h = match policy {
+                None => mix(h, 0),
+                Some(MigrationPolicy::Eager) => mix(h, 1),
+                Some(MigrationPolicy::Lazy) => mix(h, 2),
+            };
+        }
+        h = mix(h, self.migration_policies.len() as u64);
+        mix(h, self.replications as u64)
+    }
+
     /// Enumerates every operating point in the grid's canonical order.
     ///
     /// # Errors
@@ -548,6 +655,48 @@ mod tests {
         for (i, p) in points.iter().enumerate() {
             assert_eq!(p.index, i);
         }
+    }
+
+    #[test]
+    fn fingerprints_separate_every_axis_and_stay_pure() {
+        let base = SweepGrid::paper_panel(ExecutionTarget::Local);
+        assert_eq!(base.fingerprint(), base.fingerprint());
+        assert_eq!(
+            base.fingerprint(),
+            SweepGrid::paper_panel(ExecutionTarget::Local).fingerprint()
+        );
+        // Every axis perturbation moves the fingerprint.
+        let variants = [
+            base.clone().with_frame_sizes([300.0]),
+            base.clone().with_cpu_clocks([1.5]),
+            base.clone().with_executions([ExecutionTarget::Remote]),
+            base.clone()
+                .with_executions([ExecutionTarget::Split { client_share: 0.5 }]),
+            base.clone()
+                .with_executions([ExecutionTarget::Split { client_share: 0.6 }]),
+            base.clone().with_devices(vec!["XR3".into()]),
+            base.clone()
+                .with_wireless(vec![WirelessCondition::new("far", Some(60.0), None)]),
+            base.clone()
+                .with_wireless(vec![WirelessCondition::new("far", None, Some(60.0))]),
+            base.clone()
+                .with_mobility(vec![MobilityCondition::new("walk", 1.5, 30.0)]),
+            base.clone().with_frames_per_session([20]),
+            base.clone().with_users_per_edge([2]),
+            base.clone().with_frame_rates([20.0]),
+            base.clone().with_topologies([TopologyLayout::Hex]),
+            base.clone().with_site_densities([400.0]),
+            base.clone()
+                .with_migration_policies([MigrationPolicy::Lazy]),
+            base.clone().with_replications(2),
+            base.clone().with_frame_sizes([300.0, 400.0]),
+        ];
+        let mut prints: Vec<u64> = variants.iter().map(SweepGrid::fingerprint).collect();
+        prints.push(base.fingerprint());
+        let total = prints.len();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), total, "fingerprint collision across axes");
     }
 
     #[test]

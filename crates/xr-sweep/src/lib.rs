@@ -29,7 +29,20 @@
 //!   <file>`), not recompiled.
 //! - [`InOrderCollector`] streams completed results back into point order so
 //!   rows can be appended to the existing CSV output layer as they finish,
-//!   without ever reordering the artifact.
+//!   without ever reordering the artifact. Its hold-back window is bounded
+//!   (default [`runner::DEFAULT_REORDER_CAP`]): one slow point applies
+//!   backpressure to run-ahead workers instead of buffering the campaign in
+//!   memory.
+//! - [`ShardSpec`] partitions a campaign's points round-robin across `N`
+//!   independent shard processes (`--shard i/N`), [`ShardManifest`] records
+//!   what a shard's CSV covers, and [`merge_shard_rows`] interleaves shard
+//!   CSVs back into the canonical order — byte-identical to an unsharded
+//!   run, validated against the manifests' campaign seed, grid fingerprint
+//!   ([`SweepGrid::fingerprint`]), and disjoint-complete cover.
+//! - [`ShardCheckpoint`] gives each shard an append-only, fsync'd record of
+//!   completed points, so a killed shard resumes at the last completed unit
+//!   instead of recomputing from scratch; torn tails are truncated away and
+//!   stale checkpoints (different grid/seed/shard) are refused.
 //!
 //! The experiment drivers in `xr-experiments` (`figures`, `comparison`,
 //! `ablation`, the `fig4*`/`run_all`/`campaign` binaries) all drive this one
@@ -48,14 +61,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod collector;
 pub mod grid;
 pub mod runner;
 pub mod seed;
+pub mod shard;
 pub mod spec;
 
+pub use checkpoint::{CheckpointHeader, ShardCheckpoint, DEFAULT_SYNC_EVERY};
 pub use collector::InOrderCollector;
 pub use grid::{MobilityCondition, OperatingPoint, SweepGrid, WirelessCondition};
-pub use runner::{CampaignRunner, PointContext, RepContext};
+pub use runner::{CampaignRunner, PointContext, RepContext, DEFAULT_REORDER_CAP};
 pub use seed::{point_seed, replication_seed};
+pub use shard::{merge_shard_rows, ShardManifest, ShardSpec};
 pub use spec::parse_grid_spec;

@@ -3,7 +3,7 @@
 use crate::collector::InOrderCollector;
 use crate::seed::{point_seed, replication_seed};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use xr_types::{Error, Result};
 
 /// Everything a point-evaluation closure may depend on besides the point
@@ -41,10 +41,17 @@ pub struct RepContext {
 pub struct CampaignRunner {
     workers: usize,
     campaign_seed: u64,
+    reorder_cap: usize,
 }
 
 /// Environment variable overriding the default worker count.
 pub const WORKERS_ENV: &str = "XR_SWEEP_WORKERS";
+
+/// Default bound on the streaming hold-back window (rows buffered past one
+/// slow point before faster workers are backpressured). Generous enough
+/// that balanced campaigns never block, small enough that a pathological
+/// point cannot buffer a whole campaign in memory.
+pub const DEFAULT_REORDER_CAP: usize = 1024;
 
 impl CampaignRunner {
     /// A runner with an explicit worker count (clamped to at least 1).
@@ -53,6 +60,7 @@ impl CampaignRunner {
         Self {
             workers: workers.max(1),
             campaign_seed: 0,
+            reorder_cap: DEFAULT_REORDER_CAP,
         }
     }
 
@@ -81,6 +89,17 @@ impl CampaignRunner {
         self
     }
 
+    /// Bounds the streaming hold-back window (clamped to at least 1): when
+    /// one point is slow, faster workers may run at most `cap` results
+    /// ahead before they block, so memory stays bounded instead of
+    /// buffering the rest of the campaign. Defaults to
+    /// [`DEFAULT_REORDER_CAP`].
+    #[must_use]
+    pub fn with_reorder_cap(mut self, cap: usize) -> Self {
+        self.reorder_cap = cap.max(1);
+        self
+    }
+
     /// The configured worker count.
     #[must_use]
     pub fn workers(&self) -> usize {
@@ -91,6 +110,12 @@ impl CampaignRunner {
     #[must_use]
     pub fn campaign_seed(&self) -> u64 {
         self.campaign_seed
+    }
+
+    /// The streaming hold-back bound.
+    #[must_use]
+    pub fn reorder_cap(&self) -> usize {
+        self.reorder_cap
     }
 
     /// Evaluates `eval` at every point and returns the results in point
@@ -108,9 +133,14 @@ impl CampaignRunner {
         F: Fn(PointContext, &P) -> Result<R> + Sync,
     {
         let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..points.len()).map(|_| None).collect());
-        self.execute(points, &eval, |index, value| {
-            slots.lock().expect("slot lock")[index] = Some(value);
-        })?;
+        self.execute(
+            points,
+            &eval,
+            |index, value| {
+                slots.lock().expect("slot lock")[index] = Some(value);
+            },
+            &|| {},
+        )?;
         Ok(slots
             .into_inner()
             .expect("slot lock")
@@ -124,6 +154,14 @@ impl CampaignRunner {
     /// hold-back buffer. The emission order (and therefore any CSV appended
     /// row by row) is identical for every worker count.
     ///
+    /// The hold-back window is bounded by
+    /// [`CampaignRunner::with_reorder_cap`]: a worker whose result is more
+    /// than `cap` rows ahead of the sink **blocks** until the gap fills, so
+    /// one slow point backpressures the pool instead of buffering the rest
+    /// of the campaign in memory. The worker owning the gap's own point is
+    /// never blocked (its index is always admitted), so backpressure cannot
+    /// deadlock, and on failure every blocked worker is released.
+    ///
     /// # Errors
     ///
     /// Same contract as [`CampaignRunner::run`]. On failure the sink has
@@ -136,12 +174,44 @@ impl CampaignRunner {
         F: Fn(PointContext, &P) -> Result<R> + Sync,
         S: FnMut(usize, R) + Send,
     {
-        let collector = Mutex::new(InOrderCollector::new(sink));
-        self.execute(points, &eval, |index, value| {
-            collector.lock().expect("collector lock").push(index, value);
-        })?;
+        struct StreamState<R, F: FnMut(usize, R)> {
+            collector: InOrderCollector<R, F>,
+            /// Set when a point failed: blocked deliveries bail out instead
+            /// of waiting for a gap that will never fill.
+            aborted: bool,
+        }
+        let state = Mutex::new(StreamState {
+            collector: InOrderCollector::new(sink).with_cap(self.reorder_cap),
+            aborted: false,
+        });
+        let room = Condvar::new();
+        self.execute(
+            points,
+            &eval,
+            |index, value| {
+                let mut guard = state.lock().expect("collector lock");
+                while !guard.aborted && !guard.collector.accepts(index) {
+                    guard = room.wait(guard).expect("collector lock");
+                }
+                if guard.aborted {
+                    // The artifact will be discarded; drop the result.
+                    return;
+                }
+                guard.collector.push(index, value);
+                drop(guard);
+                room.notify_all();
+            },
+            &|| {
+                state.lock().expect("collector lock").aborted = true;
+                room.notify_all();
+            },
+        )?;
         debug_assert!(
-            collector.into_inner().expect("collector lock").is_drained(),
+            state
+                .into_inner()
+                .expect("collector lock")
+                .collector
+                .is_drained(),
             "a successful campaign leaves no held-back rows"
         );
         Ok(())
@@ -192,6 +262,43 @@ impl CampaignRunner {
         points: &[P],
         replications: usize,
         eval: F,
+        sink: S,
+    ) -> Result<()>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(RepContext, &P) -> Result<R> + Sync,
+        S: FnMut(usize, Vec<R>) + Send,
+    {
+        let indexed: Vec<(usize, &P)> = points.iter().enumerate().collect();
+        self.run_indexed_replicated_streaming(
+            &indexed,
+            replications,
+            |context, point| eval(context, point),
+            sink,
+        )
+    }
+
+    /// Replicated streaming evaluation over an **explicitly indexed** point
+    /// subset — the sharded-campaign entry point. Each `(index, point)` pair
+    /// carries the point's index in the *full* grid enumeration: every
+    /// replication seed derives from that original index (never the slice
+    /// position), and `sink` receives it back, so a shard's rows are
+    /// bit-identical to the same rows of an unsharded run regardless of how
+    /// the subset was carved.
+    ///
+    /// Points are evaluated in slice order with the same worker pool,
+    /// hold-back window, and backpressure as
+    /// [`CampaignRunner::run_replicated_streaming`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CampaignRunner::run`].
+    pub fn run_indexed_replicated_streaming<P, R, F, S>(
+        &self,
+        points: &[(usize, P)],
+        replications: usize,
+        eval: F,
         mut sink: S,
     ) -> Result<()>
     where
@@ -202,25 +309,26 @@ impl CampaignRunner {
     {
         let reps = replications.max(1);
         let items: Vec<(usize, usize)> = (0..points.len())
-            .flat_map(|point| (0..reps).map(move |rep| (point, rep)))
+            .flat_map(|slot| (0..reps).map(move |rep| (slot, rep)))
             .collect();
         let mut group: Vec<R> = Vec::with_capacity(reps);
         self.run_streaming(
             &items,
-            |_, &(point_index, rep_index): &(usize, usize)| {
+            |_, &(slot, rep_index): &(usize, usize)| {
+                let (point_index, ref point) = points[slot];
                 let context = RepContext {
                     point_index,
                     rep_index,
                     seed: replication_seed(self.campaign_seed, point_index, rep_index),
                 };
-                eval(context, &points[point_index])
+                eval(context, point)
             },
             |index, value| {
                 // Items stream in (point-major) order, so each contiguous
                 // run of `reps` results belongs to one point.
                 group.push(value);
                 if group.len() == reps {
-                    sink(index / reps, std::mem::take(&mut group));
+                    sink(points[index / reps].0, std::mem::take(&mut group));
                 }
             },
         )
@@ -228,8 +336,16 @@ impl CampaignRunner {
 
     /// The shared worker loop: claims indices from an atomic cursor, calls
     /// `eval`, and hands successes to `deliver` (which must tolerate
-    /// arbitrary completion order). Keeps the lowest-indexed error.
-    fn execute<P, R, F, D>(&self, points: &[P], eval: &F, deliver: D) -> Result<()>
+    /// arbitrary completion order and may block for backpressure). Keeps the
+    /// lowest-indexed error; `on_fail` fires after any failure is recorded
+    /// so blocked deliveries can be released.
+    fn execute<P, R, F, D>(
+        &self,
+        points: &[P],
+        eval: &F,
+        deliver: D,
+        on_fail: &(dyn Fn() + Sync),
+    ) -> Result<()>
     where
         P: Sync,
         R: Send,
@@ -277,10 +393,13 @@ impl CampaignRunner {
                     match eval(context(index), &points[index]) {
                         Ok(result) => deliver(index, result),
                         Err(error) => {
-                            let mut failed = failure.lock().expect("failure lock");
-                            if failed.as_ref().is_none_or(|(fi, _)| index < *fi) {
-                                *failed = Some((index, error));
+                            {
+                                let mut failed = failure.lock().expect("failure lock");
+                                if failed.as_ref().is_none_or(|(fi, _)| index < *fi) {
+                                    *failed = Some((index, error));
+                                }
                             }
+                            on_fail();
                         }
                     }
                 });
@@ -427,5 +546,140 @@ mod tests {
             .run(&few, |_, p| Ok::<_, Error>(*p))
             .unwrap();
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn indexed_streaming_reuses_original_indices_for_seeds_and_sinks() {
+        let points: Vec<u64> = (0..20).collect();
+        let eval = |ctx: RepContext, p: &u64| Ok::<_, Error>((*p, ctx.point_index, ctx.seed));
+        // Reference: every point's groups from an unsharded run.
+        let mut full = Vec::new();
+        CampaignRunner::new(3)
+            .with_campaign_seed(7)
+            .run_replicated_streaming(&points, 2, eval, |i, g| full.push((i, g)))
+            .unwrap();
+        // A round-robin shard (2/3) must reproduce exactly its slice of the
+        // full run — same seeds, same sink indices.
+        let subset: Vec<(usize, u64)> = (0..points.len())
+            .filter(|p| p % 3 == 1)
+            .map(|p| (p, points[p]))
+            .collect();
+        let mut shard = Vec::new();
+        CampaignRunner::new(4)
+            .with_campaign_seed(7)
+            .run_indexed_replicated_streaming(
+                &subset,
+                2,
+                |ctx, p| eval(ctx, p),
+                |i, g| {
+                    shard.push((i, g));
+                },
+            )
+            .unwrap();
+        let expected: Vec<_> = full.iter().filter(|(i, _)| i % 3 == 1).cloned().collect();
+        assert_eq!(shard, expected);
+    }
+
+    #[test]
+    fn bounded_windows_hold_memory_while_a_slow_point_blocks_the_prefix() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+
+        const POINTS: usize = 64;
+        const WORKERS: usize = 4;
+        const CAP: usize = 4;
+        let points: Vec<usize> = (0..POINTS).collect();
+        // Point 0 waits until every other worker has had the chance to race
+        // ahead; the bounded window must stop them at CAP buffered rows.
+        let gate = Barrier::new(2);
+        let completed = AtomicUsize::new(0);
+        let sunk = AtomicUsize::new(0);
+        let outstanding_high_water = AtomicUsize::new(0);
+        let mut seen = Vec::new();
+        CampaignRunner::new(WORKERS)
+            .with_reorder_cap(CAP)
+            .run_streaming(
+                &points,
+                |ctx, p: &usize| {
+                    if ctx.index == 0 {
+                        gate.wait();
+                    }
+                    let done = completed.fetch_add(1, Ordering::SeqCst) + 1;
+                    let outstanding = done.saturating_sub(sunk.load(Ordering::SeqCst));
+                    outstanding_high_water.fetch_max(outstanding, Ordering::SeqCst);
+                    if done == CAP + WORKERS - 1 {
+                        // Everyone who can run ahead has: CAP rows buffered
+                        // plus one blocked in-flight result per free worker
+                        // (the last of which is this one, releasing point 0
+                        // before its own delivery blocks).
+                        gate.wait();
+                    }
+                    Ok::<_, Error>(*p)
+                },
+                |index, value| {
+                    sunk.fetch_add(1, Ordering::SeqCst);
+                    seen.push((index, value));
+                },
+            )
+            .unwrap();
+        assert_eq!(seen, (0..POINTS).map(|i| (i, i)).collect::<Vec<_>>());
+        // With point 0 stalled, at most CAP rows buffer in the window plus
+        // one in-flight result per worker — never the whole campaign.
+        let high = outstanding_high_water.load(Ordering::SeqCst);
+        assert!(
+            high <= CAP + WORKERS,
+            "{high} results were outstanding with cap {CAP} and {WORKERS} workers"
+        );
+        assert!(high >= CAP, "the window never filled ({high} outstanding)");
+    }
+
+    #[test]
+    fn failures_release_backpressured_workers_without_deadlock() {
+        // Point 0 fails while run-ahead workers are blocked on a full
+        // hold-back window; the failure must wake them so the campaign
+        // terminates with point 0's error instead of deadlocking.
+        let points: Vec<usize> = (0..40).collect();
+        for workers in [2, 4, 8] {
+            let err = CampaignRunner::new(workers)
+                .with_reorder_cap(2)
+                .run_streaming(
+                    &points,
+                    |ctx, _p: &usize| {
+                        if ctx.index == 0 {
+                            // Let the others pile up against the window first.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            return Err(Error::invalid_parameter("point", "boom 0"));
+                        }
+                        Ok(ctx.index)
+                    },
+                    |_, _| {},
+                )
+                .expect_err("point 0 must fail the campaign");
+            assert!(
+                err.to_string().contains("boom 0"),
+                "workers={workers}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_caps_do_not_change_streamed_output() {
+        let points: Vec<usize> = (0..50).collect();
+        let eval = |ctx: PointContext, p: &usize| Ok::<_, Error>(p.wrapping_mul(3) ^ ctx.index);
+        let mut reference = Vec::new();
+        CampaignRunner::new(1)
+            .run_streaming(&points, eval, |i, v| reference.push((i, v)))
+            .unwrap();
+        for (workers, cap) in [(4, 1), (4, 3), (8, 2), (16, 5)] {
+            let runner = CampaignRunner::new(workers).with_reorder_cap(cap);
+            assert_eq!(runner.reorder_cap(), cap.max(1));
+            let mut seen = Vec::new();
+            runner
+                .run_streaming(&points, eval, |i, v| seen.push((i, v)))
+                .unwrap();
+            assert_eq!(seen, reference, "workers={workers} cap={cap} diverged");
+        }
+        // Cap 0 clamps to 1 — fully lock-step draining still succeeds.
+        assert_eq!(CampaignRunner::new(2).with_reorder_cap(0).reorder_cap(), 1);
     }
 }

@@ -546,16 +546,40 @@ impl TestbedSimulator {
                 "must be at least 1",
             ));
         }
+        self.simulate_session_range_batched(scenario, 0..frames, width)
+    }
+
+    /// The batched implementation of
+    /// [`TestbedSimulator::simulate_session_range`]: fast-forwards the
+    /// session state through the skipped prefix, then runs the column
+    /// pipeline over batches starting at the range's first frame. Lane
+    /// banks reseed on *absolute* frame indices
+    /// ([`xr_types::lanes::LaneStreams::reseed_range`] is the underlying
+    /// contract), so the batch grid needs no alignment with the range
+    /// start — every width and every split point is bit-identical to the
+    /// whole-session run.
+    ///
+    /// # Errors
+    ///
+    /// Returns scenario-validation errors; the range must be non-empty.
+    pub fn simulate_session_range_batched(
+        &self,
+        scenario: &Scenario,
+        frames: std::ops::Range<u64>,
+        width: usize,
+    ) -> Result<GroundTruthSession> {
+        Self::validate_range(&frames)?;
         scenario.validate()?;
         let width = width.max(1) as u64;
         let consts = BatchConsts::new(self, scenario)?;
         let mut session = SessionState::new(self, scenario);
+        self.fast_forward_session(scenario, &mut session, frames.start);
         let mut batch = FrameBatch::new();
         let mut draws = DrawColumns::new();
-        let mut out = Vec::with_capacity(frames as usize);
-        let mut first = 1u64;
-        while first <= frames {
-            let n = width.min(frames - first + 1) as usize;
+        let mut out = Vec::with_capacity((frames.end - frames.start) as usize);
+        let mut first = frames.start + 1;
+        while first <= frames.end {
+            let n = width.min(frames.end - first + 1) as usize;
             batch.reset(first, n);
             self.batch_walk(&consts, &mut batch, &mut session);
             self.batch_generate(&consts, &mut batch, &mut draws);

@@ -1,13 +1,21 @@
 //! End-to-end determinism of the campaign engine: the same grid evaluated
-//! with different worker counts must produce byte-identical artifacts.
+//! with different worker counts — or partitioned across shards and merged
+//! back, or killed mid-shard and resumed from the checkpoint — must produce
+//! byte-identical artifacts.
 
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
 use xr_experiments::campaign::{
     quick_grid, run_campaign_streaming_with, run_campaign_with, CAMPAIGN_HEADER,
 };
 use xr_experiments::figures::latency_sweep;
 use xr_experiments::mobility_experiments::mobility_sweep_with;
+use xr_experiments::shard_campaign::{
+    checkpoint_path, manifest_path, merge_campaign_csvs, run_campaign_shard_with, shard_csv_name,
+};
 use xr_experiments::ExperimentContext;
-use xr_sweep::{parse_grid_spec, CampaignRunner, SweepGrid};
+use xr_sweep::{parse_grid_spec, CampaignRunner, ShardSpec, SweepGrid};
 use xr_types::ExecutionTarget;
 
 /// Renders campaign rows exactly as the CSV layer writes them.
@@ -185,6 +193,221 @@ fn topology_campaign_is_byte_identical_across_worker_counts_and_runs() {
             > find("hex", 1600.0, "lazy").gt_migration_ms_mean,
         "eager must out-bill lazy on the same walk"
     );
+}
+
+/// A per-process scratch directory for shard artifacts.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xr-sweep-shard-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Runs every shard of an `N`-way partition into fresh artifacts and
+/// returns the shard CSV paths.
+fn run_all_shards(
+    ctx: &ExperimentContext,
+    grid: &SweepGrid,
+    runner: &CampaignRunner,
+    count: usize,
+    tag: &str,
+) -> Vec<PathBuf> {
+    (1..=count)
+        .map(|index| {
+            let shard = ShardSpec::new(index, count).unwrap();
+            let path = scratch(&format!("{tag}-{}", shard_csv_name(shard)));
+            for stale in [&path, &checkpoint_path(&path), &manifest_path(&path)] {
+                let _ = std::fs::remove_file(stale);
+            }
+            let report = run_campaign_shard_with(ctx, grid, runner, shard, &path, 1).unwrap();
+            assert_eq!(report.evaluated_rows, shard.owned_len(grid.len()));
+            path
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_campaigns_merge_byte_identically_across_grids() {
+    // The tentpole acceptance bar: for every campaign family — the
+    // twelve-axis quick grid and the mobility / contention / topology
+    // config grids — partitioning the run across {2, 3, 8} shard processes
+    // and merging the artifacts must reproduce the unsharded CSV byte for
+    // byte. Seeds derive from original point indices, rows stream in
+    // canonical order, and the merge interleaves without re-measuring.
+    let mobility = "frame_sizes  = 500\n\
+         cpu_clocks   = 2.0\n\
+         executions   = remote\n\
+         mobility     = static, walk:1.4:20, vehicle:25:10\n\
+         replications = 4\n";
+    let contention = "frame_sizes    = 300\n\
+         cpu_clocks     = 2.0\n\
+         executions     = remote\n\
+         frame_rates    = 5\n\
+         users_per_edge = 1, 4, 8\n\
+         replications   = 3\n";
+    let topology = "frame_sizes        = 300\n\
+         cpu_clocks         = 2.0\n\
+         executions         = remote\n\
+         frame_rates        = 5\n\
+         mobility           = vehicle:25:8\n\
+         frames_per_session = 100\n\
+         topology           = square, hex\n\
+         site_density       = 400, 1600\n\
+         migration_policy   = eager, lazy\n\
+         replications       = 2\n";
+    let families: [(&str, Option<&str>, u64); 4] = [
+        ("quick", None, 2024),
+        ("mobility", Some(mobility), 7),
+        ("contention", Some(contention), 13),
+        ("topology", Some(topology), 19),
+    ];
+    for (name, spec, seed) in families {
+        let ctx = ExperimentContext::quick(seed).unwrap();
+        let grid = spec.map_or_else(quick_grid, |s| parse_grid_spec(s).unwrap());
+        let runner = CampaignRunner::new(3).with_campaign_seed(ctx.seed());
+        let reference = {
+            let mut text = csv_lines(&run_campaign_with(&ctx, &grid, &runner).unwrap()).join("\n");
+            text.push('\n');
+            text
+        };
+        for count in [2usize, 3, 8] {
+            let paths = run_all_shards(&ctx, &grid, &runner, count, &format!("{name}-{count}"));
+            assert_eq!(
+                merge_campaign_csvs(&paths).unwrap(),
+                reference,
+                "{name} grid diverged at {count} shards"
+            );
+        }
+    }
+}
+
+/// Everything the crash-resume property test replays: one completed shard
+/// run's artifacts, plus the context/grid to resume under.
+struct ResumeFixture {
+    ctx: ExperimentContext,
+    grid: SweepGrid,
+    full_csv: Vec<u8>,
+    full_checkpoint: Vec<u8>,
+    /// Byte offset of the end of the header and of each data row/record.
+    csv_boundaries: Vec<usize>,
+    checkpoint_boundaries: Vec<usize>,
+}
+
+/// End offsets of the prefix ending at the header plus each subsequent
+/// newline — the valid truncation boundaries of an append-only line file.
+fn line_boundaries(data: &[u8], header_lines: usize) -> Vec<usize> {
+    let mut boundaries = Vec::new();
+    let mut seen = 0usize;
+    for (i, &b) in data.iter().enumerate() {
+        if b == b'\n' {
+            seen += 1;
+            if seen >= header_lines {
+                boundaries.push(i + 1);
+            }
+        }
+    }
+    boundaries
+}
+
+fn resume_fixture() -> &'static ResumeFixture {
+    static FIXTURE: OnceLock<ResumeFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let ctx = ExperimentContext::quick(37).unwrap();
+        let grid = parse_grid_spec(
+            "frame_sizes  = 500\n\
+             cpu_clocks   = 1.0, 3.0\n\
+             executions   = remote\n\
+             mobility     = static, walk:1.4:20, vehicle:25:10\n\
+             replications = 2\n",
+        )
+        .unwrap();
+        let runner = CampaignRunner::new(2).with_campaign_seed(ctx.seed());
+        let shard = ShardSpec::new(1, 2).unwrap();
+        let path = scratch("resume-fixture.csv");
+        for stale in [&path, &checkpoint_path(&path), &manifest_path(&path)] {
+            let _ = std::fs::remove_file(stale);
+        }
+        run_campaign_shard_with(&ctx, &grid, &runner, shard, &path, 1).unwrap();
+        let full_csv = std::fs::read(&path).unwrap();
+        let full_checkpoint = std::fs::read(checkpoint_path(&path)).unwrap();
+        // CSV: 1 header line; checkpoint: magic + 4 header fields.
+        let csv_boundaries = line_boundaries(&full_csv, 1);
+        let checkpoint_boundaries = line_boundaries(&full_checkpoint, 5);
+        ResumeFixture {
+            ctx,
+            grid,
+            full_csv,
+            full_checkpoint,
+            csv_boundaries,
+            checkpoint_boundaries,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    // A shard process can die at any instant: the CSV and the checkpoint
+    // are each cut at an arbitrary record boundary — or *inside* a record,
+    // the torn tail a crash mid-`write` leaves — independently, since the
+    // kill can land between the row append and the checkpoint append.
+    // Resuming must always reproduce the uninterrupted artifacts byte for
+    // byte. (A plain comment: the proptest shim's matcher expects `#[test]`
+    // immediately.)
+    #[test]
+    fn killed_shards_resume_to_byte_identical_artifacts(
+        csv_keep in 0usize..4,
+        csv_tear in 0usize..40,
+        checkpoint_keep in 0usize..4,
+        checkpoint_tear in 0usize..8,
+    ) {
+        let fixture = resume_fixture();
+        let rows = fixture.csv_boundaries.len() - 1;
+        prop_assert_eq!(rows, 3); // shard 1/2 of the 6-point grid
+        let cut = |data: &[u8], boundaries: &[usize], keep: usize, tear: usize| {
+            let keep = keep.min(boundaries.len() - 1);
+            let at = boundaries[keep];
+            // Tearing past the next boundary would fabricate a complete
+            // record; stay strictly inside it.
+            let next = boundaries.get(keep + 1).copied().unwrap_or(at);
+            let torn = (at + tear).min(next.saturating_sub(1)).max(at);
+            data[..torn].to_vec()
+        };
+        let tag = format!(
+            "resume-{csv_keep}-{csv_tear}-{checkpoint_keep}-{checkpoint_tear}.csv"
+        );
+        let path = scratch(&tag);
+        for stale in [&path, &checkpoint_path(&path), &manifest_path(&path)] {
+            let _ = std::fs::remove_file(stale);
+        }
+        std::fs::write(
+            &path,
+            cut(&fixture.full_csv, &fixture.csv_boundaries, csv_keep, csv_tear),
+        ).unwrap();
+        std::fs::write(
+            checkpoint_path(&path),
+            cut(
+                &fixture.full_checkpoint,
+                &fixture.checkpoint_boundaries,
+                checkpoint_keep,
+                checkpoint_tear,
+            ),
+        ).unwrap();
+        let runner = CampaignRunner::new(2).with_campaign_seed(fixture.ctx.seed());
+        let report = run_campaign_shard_with(
+            &fixture.ctx,
+            &fixture.grid,
+            &runner,
+            ShardSpec::new(1, 2).unwrap(),
+            &path,
+            1,
+        ).unwrap();
+        // Only what CSV and checkpoint agree on survives as progress.
+        prop_assert_eq!(report.resumed_rows, csv_keep.min(checkpoint_keep).min(rows));
+        prop_assert_eq!(std::fs::read(&path).unwrap(), fixture.full_csv.clone());
+        prop_assert_eq!(
+            std::fs::read(checkpoint_path(&path)).unwrap(),
+            fixture.full_checkpoint.clone()
+        );
+    }
 }
 
 #[test]
