@@ -18,13 +18,20 @@
 //! byte.
 //!
 //! The CSV is bit-identical for every worker count (`XR_SWEEP_WORKERS`),
-//! for both session engines (`--scalar-sessions` forces the scalar
-//! reference), and for any within-session split (`--session-chunks`,
-//! `XR_SESSION_CHUNKS`); CI runs this binary under all three axes and
-//! diffs the artifacts.
+//! for all three session engines (`--scalar-sessions` forces the scalar
+//! reference, `--fused-points` / `XR_FUSED_POINTS=1` fuses all
+//! replications of a point into one wide SoA pass), and for any
+//! within-session split (`--session-chunks`, `XR_SESSION_CHUNKS`); CI runs
+//! this binary under all of these axes and diffs the artifacts.
+//!
+//! `--progress` emits `shard i/N: completed/total points` lines to stderr
+//! at checkpoint boundaries (`1/1` and every completed point on an
+//! unsharded run); stdout and the CSV are byte-identical either way.
+//! `--reorder-cap <n>` / `XR_REORDER_CAP` bound the streaming hold-back
+//! window (how far fast workers may run ahead of one slow point).
 
-use xr_experiments::campaign::{quick_grid, run_campaign, CAMPAIGN_HEADER};
-use xr_experiments::shard_campaign::{run_campaign_shard_with, shard_csv_name};
+use xr_experiments::campaign::{quick_grid, run_campaign_streaming, CampaignRow, CAMPAIGN_HEADER};
+use xr_experiments::shard_campaign::{run_campaign_shard_with_progress, shard_csv_name};
 use xr_experiments::{output, ExperimentContext};
 use xr_sweep::{parse_grid_spec, ShardSpec, SweepGrid, DEFAULT_SYNC_EVERY};
 
@@ -96,18 +103,20 @@ fn checkpoint_every_from_args() -> usize {
 fn main() {
     let grid = grid_from_args();
     let checkpoint_every = checkpoint_every_from_args();
+    let progress = std::env::args().any(|a| a == "--progress");
     let ctx = ExperimentContext::from_args();
     if let Some(shard) = shard_from_args() {
         let dir = output::artifact_dir();
         std::fs::create_dir_all(&dir).expect("cannot create the artifact directory");
         let csv_path = dir.join(shard_csv_name(shard));
-        let report = run_campaign_shard_with(
+        let report = run_campaign_shard_with_progress(
             &ctx,
             &grid,
             &ctx.runner(),
             shard,
             &csv_path,
             checkpoint_every,
+            progress,
         )
         .unwrap_or_else(|error| {
             eprintln!("shard campaign failed: {error}");
@@ -126,7 +135,18 @@ fn main() {
         eprintln!("--checkpoint-every only applies to a sharded run (--shard i/N)");
         std::process::exit(2);
     }
-    let rows = run_campaign(&ctx, &grid).expect("campaign failed");
+    // An unsharded run is the whole campaign in one piece — report it as
+    // shard 1/1, one "checkpoint" per completed point (the sharded
+    // default cadence).
+    let total = grid.len();
+    let mut rows: Vec<CampaignRow> = Vec::with_capacity(total);
+    run_campaign_streaming(&ctx, &grid, |_, row| {
+        rows.push(row);
+        if progress {
+            eprintln!("shard 1/1: {}/{total} points", rows.len());
+        }
+    })
+    .expect("campaign failed");
     let cells: Vec<Vec<String>> = rows.iter().map(|r| r.cells()).collect();
     output::print_experiment(
         "Consolidated campaign — twelve-axis replicated sweep",

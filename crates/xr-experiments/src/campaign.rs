@@ -16,8 +16,10 @@
 
 use crate::context::ExperimentContext;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 use xr_stats::mean_confidence_interval;
 use xr_sweep::{CampaignRunner, OperatingPoint, SweepGrid, WirelessCondition};
+use xr_testbed::SimulationEngine;
 use xr_types::{ExecutionTarget, Result};
 
 /// Column header of the consolidated campaign CSV.
@@ -193,6 +195,88 @@ impl CampaignRow {
             format!("{:.3}", self.proposed_energy_mj),
         ]
     }
+
+    /// Renders the row as one CSV line (no trailing newline) into `out`,
+    /// clearing it first. Byte-identical to `cells().join(",")` — pinned by
+    /// a unit test — but reuses the caller's buffer instead of allocating a
+    /// `String` per cell, which matters in the sharded campaign sink where
+    /// every row goes straight to a file.
+    pub fn render_csv_into(&self, out: &mut String) {
+        out.clear();
+        let _ = write!(
+            out,
+            "{},{},{},{},",
+            self.point.index,
+            self.point.device,
+            self.point.wireless.label,
+            self.point.mobility.label
+        );
+        match self.point.execution {
+            ExecutionTarget::Local => out.push_str("local"),
+            ExecutionTarget::Remote => out.push_str("remote"),
+            ExecutionTarget::Split { client_share } => {
+                let _ = write!(out, "split{client_share:.2}");
+            }
+        }
+        let _ = write!(
+            out,
+            ",{:.1},{:.0},",
+            self.point.cpu_clock_ghz, self.point.frame_size
+        );
+        match self.point.frame_rate_hz {
+            Some(rate) => {
+                let _ = write!(out, "{rate:.1}");
+            }
+            None => out.push_str("default"),
+        }
+        out.push(',');
+        match self.point.users_per_edge {
+            Some(users) => {
+                let _ = write!(out, "{users}");
+            }
+            None => out.push_str("off"),
+        }
+        out.push(',');
+        match self.point.topology {
+            Some(layout) => {
+                let _ = write!(out, "{layout}");
+            }
+            None => out.push_str("off"),
+        }
+        out.push(',');
+        match self.point.site_density {
+            Some(density) => {
+                let _ = write!(out, "{density:.0}");
+            }
+            None => out.push_str("default"),
+        }
+        out.push(',');
+        match self.point.migration_policy {
+            Some(policy) => {
+                let _ = write!(out, "{policy}");
+            }
+            None => out.push_str("default"),
+        }
+        let _ = write!(
+            out,
+            ",{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.4},{:.4},{},{:.4},{:.3},{:.3},{:.3}",
+            self.frames_per_session,
+            self.replications,
+            self.gt_latency_ms.mean,
+            self.gt_latency_ms.ci95_lo,
+            self.gt_latency_ms.ci95_hi,
+            self.gt_energy_mj.mean,
+            self.gt_energy_mj.ci95_lo,
+            self.gt_energy_mj.ci95_hi,
+            self.gt_handoff_rate,
+            self.gt_migration_ms_mean,
+            self.sites_visited,
+            self.edge_utilization,
+            self.gt_contention_ms_mean,
+            self.proposed_latency_ms,
+            self.proposed_energy_mj,
+        );
+    }
 }
 
 /// The quick consolidated grid the `campaign` binary sweeps: a scenario
@@ -274,9 +358,99 @@ pub fn run_campaign_subset_streaming_with(
     mut sink: impl FnMut(usize, CampaignRow) + Send,
 ) -> Result<()> {
     let replications = grid.replications();
+    // The model prediction and the contention snapshot are deterministic per
+    // point: both paths compute them once, on the first replication.
+    let point_constants = |scenario: &xr_core::Scenario| -> Result<((f64, f64), (f64, f64))> {
+        let report = ctx.proposed().analyze(scenario)?;
+        let contention =
+            ctx.testbed()
+                .contention_snapshot(scenario)?
+                .map_or((0.0, 0.0), |snapshot| {
+                    (
+                        snapshot.utilization(),
+                        snapshot.mean_contention_delay().as_f64() * 1e3,
+                    )
+                });
+        Ok((
+            (report.latency_ms().as_f64(), report.energy_mj().as_f64()),
+            contention,
+        ))
+    };
     // Rows stream back in subset order, so the sink can walk the subset in
-    // lock-step to recover each row's operating point.
+    // lock-step to recover each row's operating point. Both the fused and
+    // the per-rep path feed this same column reduction, so their rows are
+    // identical whenever their per-rep samples are.
     let mut slot = 0usize;
+    let mut emit = move |point_index: usize, samples: Vec<RepSample>| {
+        let (original, ref point) = subset[slot];
+        debug_assert_eq!(original, point_index, "rows must stream in subset order");
+        slot += 1;
+        let latencies: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+        let energies: Vec<f64> = samples.iter().map(|s| s.energy_mj).collect();
+        let handoff_rate =
+            samples.iter().map(|s| s.handoff_rate).sum::<f64>() / samples.len() as f64;
+        let gt_migration_ms_mean =
+            samples.iter().map(|s| s.migration_ms).sum::<f64>() / samples.len() as f64;
+        let sites_visited = samples.iter().map(|s| s.sites_visited).max().unwrap_or(1);
+        let (proposed_latency_ms, proposed_energy_mj) = samples[0]
+            .proposed
+            .expect("the first replication carries the model prediction");
+        let (edge_utilization, gt_contention_ms_mean) = samples[0]
+            .contention
+            .expect("the first replication carries the contention snapshot");
+        sink(
+            point_index,
+            CampaignRow {
+                point: point.clone(),
+                frames_per_session: ctx.frames_for(point),
+                replications: samples.len(),
+                gt_latency_ms: ReplicateStats::of(&latencies),
+                gt_energy_mj: ReplicateStats::of(&energies),
+                gt_handoff_rate: handoff_rate,
+                gt_migration_ms_mean,
+                sites_visited,
+                edge_utilization,
+                gt_contention_ms_mean,
+                proposed_latency_ms,
+                proposed_energy_mj,
+            },
+        );
+    };
+    // A fused-point testbed evaluates all replications of a point in one
+    // wide SoA pass: the point becomes the work item, and the engine itself
+    // falls back to per-rep dispatch when fusion cannot apply (single
+    // replication, range-chunked sessions). Per-rep seeds derive from the
+    // point seed exactly as `run_indexed_replicated_streaming` derives them,
+    // so the samples — and therefore the rows — are bit-identical.
+    if matches!(ctx.testbed().engine(), SimulationEngine::FusedPoint { .. }) {
+        return runner.run_indexed_fused_streaming(
+            subset,
+            |point_ctx, point: &OperatingPoint| {
+                let scenario = ctx.scenario_for(point)?;
+                let sessions = ctx.testbed().simulate_point(
+                    &scenario,
+                    point_ctx.seed,
+                    replications.max(1),
+                    ctx.frames_for(point),
+                )?;
+                let (proposed, contention) = point_constants(&scenario)?;
+                Ok(sessions
+                    .iter()
+                    .enumerate()
+                    .map(|(rep, session)| RepSample {
+                        latency_ms: session.mean_latency().as_f64() * 1e3,
+                        energy_mj: session.mean_energy().as_f64() * 1e3,
+                        handoff_rate: session.handoff_rate(),
+                        migration_ms: session.mean_migration_latency().as_f64() * 1e3,
+                        sites_visited: session.sites_visited(),
+                        proposed: (rep == 0).then_some(proposed),
+                        contention: (rep == 0).then_some(contention),
+                    })
+                    .collect())
+            },
+            emit,
+        );
+    }
     runner.run_indexed_replicated_streaming(
         subset,
         replications,
@@ -285,24 +459,9 @@ pub fn run_campaign_subset_streaming_with(
             let session = ctx
                 .testbed_for_seed(rep_ctx.seed)
                 .simulate_session(&scenario, ctx.frames_for(point))?;
-            // The proposed model and the contention snapshot are
-            // deterministic per point: compute once, on the first
-            // replication.
             let (proposed, contention) = if rep_ctx.rep_index == 0 {
-                let report = ctx.proposed().analyze(&scenario)?;
-                let contention =
-                    ctx.testbed()
-                        .contention_snapshot(&scenario)?
-                        .map_or((0.0, 0.0), |snapshot| {
-                            (
-                                snapshot.utilization(),
-                                snapshot.mean_contention_delay().as_f64() * 1e3,
-                            )
-                        });
-                (
-                    Some((report.latency_ms().as_f64(), report.energy_mj().as_f64())),
-                    Some(contention),
-                )
+                let (proposed, contention) = point_constants(&scenario)?;
+                (Some(proposed), Some(contention))
             } else {
                 (None, None)
             };
@@ -316,41 +475,7 @@ pub fn run_campaign_subset_streaming_with(
                 contention,
             })
         },
-        |point_index, samples: Vec<RepSample>| {
-            let (original, ref point) = subset[slot];
-            debug_assert_eq!(original, point_index, "rows must stream in subset order");
-            slot += 1;
-            let latencies: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
-            let energies: Vec<f64> = samples.iter().map(|s| s.energy_mj).collect();
-            let handoff_rate =
-                samples.iter().map(|s| s.handoff_rate).sum::<f64>() / samples.len() as f64;
-            let gt_migration_ms_mean =
-                samples.iter().map(|s| s.migration_ms).sum::<f64>() / samples.len() as f64;
-            let sites_visited = samples.iter().map(|s| s.sites_visited).max().unwrap_or(1);
-            let (proposed_latency_ms, proposed_energy_mj) = samples[0]
-                .proposed
-                .expect("the first replication carries the model prediction");
-            let (edge_utilization, gt_contention_ms_mean) = samples[0]
-                .contention
-                .expect("the first replication carries the contention snapshot");
-            sink(
-                point_index,
-                CampaignRow {
-                    point: point.clone(),
-                    frames_per_session: ctx.frames_for(point),
-                    replications: samples.len(),
-                    gt_latency_ms: ReplicateStats::of(&latencies),
-                    gt_energy_mj: ReplicateStats::of(&energies),
-                    gt_handoff_rate: handoff_rate,
-                    gt_migration_ms_mean,
-                    sites_visited,
-                    edge_utilization,
-                    gt_contention_ms_mean,
-                    proposed_latency_ms,
-                    proposed_energy_mj,
-                },
-            );
-        },
+        &mut emit,
     )
 }
 
@@ -430,6 +555,60 @@ mod tests {
         assert!(rows
             .iter()
             .any(|r| r.gt_latency_ms.ci95_hi > r.gt_latency_ms.ci95_lo));
+    }
+
+    #[test]
+    fn fused_campaign_rows_match_the_per_rep_path() {
+        let ctx = ExperimentContext::quick(23).unwrap();
+        let grid = quick_grid();
+        let subset: Vec<(usize, OperatingPoint)> = grid
+            .points()
+            .unwrap()
+            .into_iter()
+            .enumerate()
+            .step_by(11)
+            .collect();
+        let runner = CampaignRunner::new(2).with_campaign_seed(ctx.seed());
+        let mut reference = Vec::new();
+        run_campaign_subset_streaming_with(&ctx, &grid, &runner, &subset, |index, row| {
+            reference.push((index, row));
+        })
+        .unwrap();
+        let fused_ctx = ctx.with_fused_points();
+        let mut fused = Vec::new();
+        run_campaign_subset_streaming_with(&fused_ctx, &grid, &runner, &subset, |index, row| {
+            fused.push((index, row));
+        })
+        .unwrap();
+        assert_eq!(fused, reference);
+    }
+
+    #[test]
+    fn csv_rendering_matches_the_cell_layer_byte_for_byte() {
+        let ctx = ExperimentContext::quick(29).unwrap();
+        // A grid exercising every optional column: frame rate, contention,
+        // topology axes and a split execution target.
+        let grid = SweepGrid::paper_panel(ExecutionTarget::Split { client_share: 0.25 })
+            .with_frame_sizes([300.0])
+            .with_cpu_clocks([2.0])
+            .with_frame_rates([10.0])
+            .with_users_per_edge([2])
+            .with_topologies([xr_types::TopologyLayout::Hex])
+            .with_site_densities([900.0])
+            .with_migration_policies([xr_types::MigrationPolicy::Lazy])
+            .with_replications(2);
+        let mut rows = run_campaign(&ctx, &grid).unwrap();
+        rows.extend(
+            run_campaign(&ctx, &quick_grid())
+                .unwrap()
+                .into_iter()
+                .take(8),
+        );
+        let mut line = String::new();
+        for row in &rows {
+            row.render_csv_into(&mut line);
+            assert_eq!(line, row.cells().join(","));
+        }
     }
 
     #[test]

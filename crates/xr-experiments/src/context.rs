@@ -16,6 +16,24 @@ pub struct ExperimentContext {
     proposed: XrPerformanceModel,
     frames_per_point: u64,
     seed: u64,
+    reorder_cap: Option<usize>,
+}
+
+/// Parses a `--reorder-cap` / `XR_REORDER_CAP` token. The hold-back window
+/// must be able to hold at least the next in-order result, so `0` is
+/// rejected rather than silently clamped.
+///
+/// # Errors
+///
+/// Returns a human-readable message for non-numeric tokens and for `0`.
+pub fn parse_reorder_cap(token: &str) -> std::result::Result<usize, String> {
+    let cap = token
+        .parse::<usize>()
+        .map_err(|_| format!("invalid reorder cap `{token}`"))?;
+    if cap == 0 {
+        return Err("reorder cap must be at least 1".to_string());
+    }
+    Ok(cap)
 }
 
 impl ExperimentContext {
@@ -93,7 +111,55 @@ impl ExperimentContext {
         if let Some(chunks) = chunks {
             ctx = ctx.with_session_chunks(chunks);
         }
+        if std::env::args().any(|a| a == "--fused-points")
+            || std::env::var("XR_FUSED_POINTS").is_ok_and(|v| v == "1")
+        {
+            ctx = ctx.with_fused_points();
+        }
+        let cap = args
+            .iter()
+            .position(|a| a == "--reorder-cap")
+            .and_then(|position| args.get(position + 1))
+            .cloned()
+            .or_else(|| std::env::var("XR_REORDER_CAP").ok())
+            .map(|token| {
+                parse_reorder_cap(&token).unwrap_or_else(|message| {
+                    eprintln!("{message}");
+                    std::process::exit(2);
+                })
+            });
+        if let Some(cap) = cap {
+            ctx = ctx.with_reorder_cap(cap);
+        }
         ctx
+    }
+
+    /// This context with campaign points evaluated by the replication-fused
+    /// engine: all replications of one grid point run as a single wide SoA
+    /// pass (`TestbedSimulator::simulate_point`), with the engine falling
+    /// back to per-rep dispatch wherever fusion cannot apply. Fusion is
+    /// bit-identical to the per-rep path by construction, so artifacts do
+    /// not change — only the per-point constant costs do. `--fused-points`
+    /// / `XR_FUSED_POINTS=1` wire this up for the experiment binaries.
+    #[must_use]
+    pub fn with_fused_points(mut self) -> Self {
+        self.testbed = self
+            .testbed
+            .with_engine(xr_testbed::SimulationEngine::FusedPoint {
+                width: xr_testbed::DEFAULT_BATCH_WIDTH,
+            });
+        self
+    }
+
+    /// This context with an explicit hold-back window for the campaign
+    /// runner's in-order collector (`--reorder-cap` / `XR_REORDER_CAP`).
+    /// The cap bounds how many out-of-order point results a campaign may
+    /// buffer before the runner fails; artifacts are unchanged for any cap
+    /// that does not trip.
+    #[must_use]
+    pub fn with_reorder_cap(mut self, cap: usize) -> Self {
+        self.reorder_cap = Some(cap.max(1));
+        self
     }
 
     /// This context with every ground-truth session split across `chunks`
@@ -140,6 +206,7 @@ impl ExperimentContext {
             proposed,
             frames_per_point: frames_per_point.max(1),
             seed,
+            reorder_cap: None,
         })
     }
 
@@ -296,7 +363,11 @@ impl ExperimentContext {
     /// consume them instead of any shared RNG to keep that property.
     #[must_use]
     pub fn runner(&self) -> CampaignRunner {
-        CampaignRunner::from_env().with_campaign_seed(self.seed)
+        let runner = CampaignRunner::from_env().with_campaign_seed(self.seed);
+        match self.reorder_cap {
+            Some(cap) => runner.with_reorder_cap(cap),
+            None => runner,
+        }
     }
 }
 
@@ -375,6 +446,39 @@ mod tests {
         let config = scenario.topology.unwrap();
         assert_eq!(config.layout, xr_types::TopologyLayout::Hex);
         assert_eq!(config.migration_policy, xr_types::MigrationPolicy::Lazy);
+    }
+
+    #[test]
+    fn reorder_cap_tokens_parse_or_explain() {
+        assert_eq!(parse_reorder_cap("8"), Ok(8));
+        assert_eq!(
+            parse_reorder_cap("0"),
+            Err("reorder cap must be at least 1".to_string())
+        );
+        assert_eq!(
+            parse_reorder_cap("many"),
+            Err("invalid reorder cap `many`".to_string())
+        );
+    }
+
+    #[test]
+    fn reorder_cap_reaches_the_runner() {
+        let ctx = ExperimentContext::quick(7).unwrap();
+        assert_eq!(
+            ctx.runner().reorder_cap(),
+            xr_sweep::DEFAULT_REORDER_CAP,
+            "unset cap keeps the runner default"
+        );
+        assert_eq!(ctx.with_reorder_cap(3).runner().reorder_cap(), 3);
+    }
+
+    #[test]
+    fn fused_points_switch_the_engine() {
+        let ctx = ExperimentContext::quick(7).unwrap().with_fused_points();
+        assert!(matches!(
+            ctx.testbed().engine(),
+            xr_testbed::SimulationEngine::FusedPoint { .. }
+        ));
     }
 
     #[test]

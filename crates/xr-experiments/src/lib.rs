@@ -51,11 +51,13 @@ pub use aoi_experiments::{AoiPoint, AoiSweep, RoiPoint};
 pub use campaign::{CampaignRow, ReplicateStats};
 pub use comparison::{ComparisonPoint, ComparisonSweep, Metric};
 pub use contention_experiments::ContentionPoint;
-pub use context::ExperimentContext;
+pub use context::{parse_reorder_cap, ExperimentContext};
 pub use errors::ErrorSummary;
 pub use figures::{SweepPoint, SweepResult};
 pub use mobility_experiments::MobilityPoint;
 pub use regression_report::RegressionReport;
 pub use scaling_experiments::ScalingPoint;
-pub use shard_campaign::{merge_campaign_csvs, run_campaign_shard_with, ShardRunReport};
+pub use shard_campaign::{
+    merge_campaign_csvs, run_campaign_shard_with, run_campaign_shard_with_progress, ShardRunReport,
+};
 pub use topology_experiments::TopologyPoint;

@@ -88,6 +88,28 @@ pub fn run_campaign_shard_with(
     csv_path: &Path,
     checkpoint_every: usize,
 ) -> Result<ShardRunReport> {
+    run_campaign_shard_with_progress(ctx, grid, runner, shard, csv_path, checkpoint_every, false)
+}
+
+/// [`run_campaign_shard_with`] with optional progress reporting: when
+/// `progress` is set, a `shard i/N: completed/total points` line goes to
+/// **stderr** at every checkpoint boundary (the fsync cadence) and once when
+/// the shard completes. Counts are shard-local; stdout and the CSV bytes
+/// are untouched, so progress can be left on in scripted runs.
+///
+/// # Errors
+///
+/// Propagates grid, scenario, model and I/O errors; refuses stale
+/// checkpoints and CSVs whose header does not match the campaign layout.
+pub fn run_campaign_shard_with_progress(
+    ctx: &ExperimentContext,
+    grid: &SweepGrid,
+    runner: &CampaignRunner,
+    shard: ShardSpec,
+    csv_path: &Path,
+    checkpoint_every: usize,
+    progress: bool,
+) -> Result<ShardRunReport> {
     let points = grid.points()?;
     let total = points.len();
     let owned: Vec<(usize, OperatingPoint)> = shard
@@ -177,25 +199,44 @@ pub fn run_campaign_shard_with(
 
     // Stream the remaining owned points. The sink cannot return an error, so
     // the first I/O failure is parked and everything after it is dropped.
+    let shard_total = owned.len();
+    let mut reported = None;
+    let mut report_progress = |completed: usize| {
+        if progress && reported != Some(completed) {
+            reported = Some(completed);
+            eprintln!(
+                "shard {}/{}: {completed}/{shard_total} points",
+                shard.index(),
+                shard.count()
+            );
+        }
+    };
     let mut write_failure: Option<Error> = None;
+    let mut line = String::new();
     run_campaign_subset_streaming_with(ctx, grid, runner, &owned[durable..], |index, row| {
         if write_failure.is_some() {
             return;
         }
+        row.render_csv_into(&mut line);
+        line.push('\n');
+        // The row must be durable before the checkpoint says so — sharing
+        // the checkpoint's fsync cadence keeps one knob, and gives progress
+        // reporting its boundary.
+        let at_boundary = (checkpoint.completed().len() + 1) % checkpoint.sync_every() == 0;
         let outcome = file
-            .write_all(format!("{}\n", row.cells().join(",")).as_bytes())
+            .write_all(line.as_bytes())
             .map_err(|e| io_error(csv_path, "append", &e))
             .and_then(|()| {
-                // The row must be durable before the checkpoint says so —
-                // sharing the checkpoint's fsync cadence keeps one knob.
-                if (checkpoint.completed().len() + 1) % checkpoint.sync_every() == 0 {
+                if at_boundary {
                     file.sync_data()
                         .map_err(|e| io_error(csv_path, "sync", &e))?;
                 }
                 checkpoint.record(index)
             });
-        if let Err(error) = outcome {
-            write_failure = Some(error);
+        match outcome {
+            Err(error) => write_failure = Some(error),
+            Ok(()) if at_boundary => report_progress(checkpoint.completed().len()),
+            Ok(()) => {}
         }
     })?;
     if let Some(error) = write_failure {
@@ -204,6 +245,7 @@ pub fn run_campaign_shard_with(
     file.sync_data()
         .map_err(|e| io_error(csv_path, "sync", &e))?;
     checkpoint.sync()?;
+    report_progress(checkpoint.completed().len());
 
     let manifest = ShardManifest::for_grid(grid, ctx.seed(), shard);
     let manifest_file = manifest_path(csv_path);
@@ -391,6 +433,34 @@ mod tests {
         assert_eq!(report.evaluated_rows, shard.owned_len(grid.len()) - 2);
         assert_eq!(std::fs::read(&path).unwrap(), full_csv);
         assert_eq!(std::fs::read(checkpoint_path(&path)).unwrap(), full_ckpt);
+    }
+
+    #[test]
+    fn progress_and_fusion_leave_the_artifact_bytes_alone() {
+        let ctx = ExperimentContext::quick(37).unwrap();
+        let grid = small_grid();
+        let runner = CampaignRunner::new(2).with_campaign_seed(ctx.seed());
+        let shard = ShardSpec::new(2, 3).unwrap();
+        let plain = scratch("progress_plain.csv");
+        let noisy = scratch("progress_noisy.csv");
+        let fused = scratch("progress_fused.csv");
+        for path in [&plain, &noisy, &fused] {
+            let _ = std::fs::remove_file(path);
+            let _ = std::fs::remove_file(checkpoint_path(path));
+            let _ = std::fs::remove_file(manifest_path(path));
+        }
+        run_campaign_shard_with(&ctx, &grid, &runner, shard, &plain, 1).unwrap();
+        // Progress lines go to stderr only; a different checkpoint cadence
+        // moves the report boundaries but never the artifact.
+        run_campaign_shard_with_progress(&ctx, &grid, &runner, shard, &noisy, 2, true).unwrap();
+        // The fused point engine must produce the same shard bytes as the
+        // per-rep path.
+        let fused_ctx = ctx.clone().with_fused_points();
+        run_campaign_shard_with_progress(&fused_ctx, &grid, &runner, shard, &fused, 1, true)
+            .unwrap();
+        let reference = std::fs::read(&plain).unwrap();
+        assert_eq!(std::fs::read(&noisy).unwrap(), reference);
+        assert_eq!(std::fs::read(&fused).unwrap(), reference);
     }
 
     #[test]

@@ -334,6 +334,53 @@ impl CampaignRunner {
         )
     }
 
+    /// Replication-fused streaming evaluation over an explicitly indexed
+    /// point subset: the whole *point* is one work item, and `eval` returns
+    /// the vector of all its replication results at once (the
+    /// replication-fused engine's natural shape —
+    /// `TestbedSimulator::simulate_point` in `xr-testbed`). Like
+    /// [`CampaignRunner::run_indexed_replicated_streaming`], each `(index,
+    /// point)` pair carries the point's index in the full grid enumeration;
+    /// the [`PointContext`] seed derives from that original index via
+    /// [`point_seed`], which is exactly the `point_seed` the per-rep path's
+    /// [`replication_seed`]s expand from — so a fused campaign's rows are
+    /// bit-identical to the per-rep path for any worker count.
+    ///
+    /// Work is distributed at *point* granularity (coarser than the per-rep
+    /// path's `(point, replication)` items), with the same hold-back window
+    /// and backpressure as [`CampaignRunner::run_streaming`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CampaignRunner::run`]: the error of the
+    /// lowest-indexed failing point wins.
+    pub fn run_indexed_fused_streaming<P, R, F, S>(
+        &self,
+        points: &[(usize, P)],
+        eval: F,
+        mut sink: S,
+    ) -> Result<()>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(PointContext, &P) -> Result<Vec<R>> + Sync,
+        S: FnMut(usize, Vec<R>) + Send,
+    {
+        let slots: Vec<usize> = (0..points.len()).collect();
+        self.run_streaming(
+            &slots,
+            |_, &slot: &usize| {
+                let (point_index, ref point) = points[slot];
+                let context = PointContext {
+                    index: point_index,
+                    seed: point_seed(self.campaign_seed, point_index),
+                };
+                eval(context, point)
+            },
+            |index, group| sink(points[index].0, group),
+        )
+    }
+
     /// The shared worker loop: claims indices from an atomic cursor, calls
     /// `eval`, and hands successes to `deliver` (which must tolerate
     /// arbitrary completion order and may block for backpressure). Keeps the
@@ -578,6 +625,53 @@ mod tests {
             .unwrap();
         let expected: Vec<_> = full.iter().filter(|(i, _)| i % 3 == 1).cloned().collect();
         assert_eq!(shard, expected);
+    }
+
+    #[test]
+    fn fused_streaming_matches_the_per_rep_path_for_any_worker_count() {
+        // A fused eval that expands the point seed exactly like the per-rep
+        // path (`replication_seed = mix(point_seed, rep)`) must reproduce
+        // the replicated runner's groups — original-index seeds included —
+        // for every worker count, over a sharded subset.
+        const REPS: usize = 3;
+        let points: Vec<u64> = (0..20).collect();
+        let mut reference = Vec::new();
+        CampaignRunner::new(1)
+            .with_campaign_seed(7)
+            .run_replicated_streaming(
+                &points,
+                REPS,
+                |ctx: RepContext, p: &u64| Ok::<_, Error>((*p, ctx.rep_index, ctx.seed)),
+                |i, g| reference.push((i, g)),
+            )
+            .unwrap();
+        let subset: Vec<(usize, u64)> = (0..points.len())
+            .filter(|p| p % 2 == 1)
+            .map(|p| (p, points[p]))
+            .collect();
+        let expected: Vec<_> = reference
+            .iter()
+            .filter(|(i, _)| i % 2 == 1)
+            .cloned()
+            .collect();
+        for workers in [1, 3, 4] {
+            let mut fused = Vec::new();
+            CampaignRunner::new(workers)
+                .with_campaign_seed(7)
+                .run_indexed_fused_streaming(
+                    &subset,
+                    |ctx: PointContext, p: &u64| {
+                        Ok::<_, Error>(
+                            (0..REPS)
+                                .map(|rep| (*p, rep, xr_types::seed::mix(ctx.seed, rep as u64)))
+                                .collect(),
+                        )
+                    },
+                    |i, g| fused.push((i, g)),
+                )
+                .unwrap();
+            assert_eq!(fused, expected, "{workers} workers diverged");
+        }
     }
 
     #[test]

@@ -87,6 +87,16 @@ pub enum SimulationEngine {
         /// Frames per batch.
         width: usize,
     },
+    /// The replication-fused point engine: for a single session this
+    /// behaves exactly like [`SimulationEngine::Batched`], but
+    /// [`TestbedSimulator::simulate_point`] additionally evaluates all R
+    /// replications of one grid point in a single widened SoA pass (lane
+    /// budget `width` split across the replications). Bit-identical to
+    /// per-rep dispatch by construction.
+    FusedPoint {
+        /// Total lane budget per batch, shared by the fused replications.
+        width: usize,
+    },
 }
 
 impl Default for SimulationEngine {
@@ -146,9 +156,12 @@ struct BatchConsts {
     /// `mix(session_seed, stage_id)` per stage — the first half of
     /// [`stage_stream_seed`], hoisted so the per-frame stream derivation is
     /// a single `mix` against the frame index. Each entry is a pure function
-    /// of `(session_seed, stage_id)`, so growing the array for a new stream
-    /// id cannot re-key any existing stage.
-    stage_seed_base: [u64; 13],
+    /// of `(session_seed, stage_id)`, so growing the inner array for a new
+    /// stream id cannot re-key any existing stage. One outer entry per
+    /// fused replication (a plain session has exactly one); everything
+    /// *else* in this struct is seed-independent, which is what lets the
+    /// fused point engine hoist one `BatchConsts` across all replications.
+    stage_bases: Vec<[u64; 13]>,
 }
 
 /// The hoisted topology-mode constants of one batched session: the per-site
@@ -164,6 +177,20 @@ struct BatchTopology {
 
 impl BatchConsts {
     fn new(simulator: &TestbedSimulator, scenario: &Scenario) -> Result<Self> {
+        Self::for_seeds(simulator, scenario, std::slice::from_ref(&simulator.seed))
+    }
+
+    /// Hoists the constants once for a whole *point*: `session_seeds[r]` is
+    /// the session seed of fused replication `r`. Everything outside
+    /// `stage_bases` is a pure function of `(simulator, scenario)`, so the
+    /// per-rep hoists this replaces were redundant work — including the
+    /// contention-plan construction, whose errors (e.g. `UnstableQueue`)
+    /// are therefore identical between fused and per-rep dispatch.
+    fn for_seeds(
+        simulator: &TestbedSimulator,
+        scenario: &Scenario,
+        session_seeds: &[u64],
+    ) -> Result<Self> {
         let client = &scenario.client;
         let bias = DeviceBias::for_device(&client.name);
         let c_true = simulator.laws.compute_resource(
@@ -313,10 +340,16 @@ impl BatchConsts {
             segment_power,
             segment_included,
             segment_is_compute,
-            stage_seed_base: std::array::from_fn(|stage| {
-                xr_types::seed::mix(simulator.seed, stage as u64)
-            }),
+            stage_bases: session_seeds
+                .iter()
+                .map(|&seed| std::array::from_fn(|stage| xr_types::seed::mix(seed, stage as u64)))
+                .collect(),
         })
+    }
+
+    /// `mix(session_seed, stage)` of fused replication `rep`.
+    fn base(&self, rep: usize, stage: u64) -> u64 {
+        self.stage_bases[rep][stage as usize]
     }
 
     /// One multiplicative noise factor, drawing through the stream's
@@ -331,15 +364,13 @@ impl BatchConsts {
         }
     }
 
-    /// The stage's RNG stream for one frame — bit-identical to
-    /// [`TestbedSimulator::stage_rng`], with the stage half of the seed
+    /// The stage's RNG stream for one frame of replication `rep` —
+    /// bit-identical to [`TestbedSimulator::stage_rng`] on that
+    /// replication's session seed, with the stage half of the seed
     /// derivation precomputed.
-    fn rng(&self, stage: u64, frame_index: u64) -> rand::rngs::StdRng {
+    fn rng(&self, rep: usize, stage: u64, frame_index: u64) -> rand::rngs::StdRng {
         use rand::SeedableRng;
-        rand::rngs::StdRng::seed_from_u64(xr_types::seed::mix(
-            self.stage_seed_base[stage as usize],
-            frame_index,
-        ))
+        rand::rngs::StdRng::seed_from_u64(xr_types::seed::mix(self.base(rep, stage), frame_index))
     }
 }
 
@@ -363,6 +394,9 @@ struct DrawColumns {
     acc: Vec<Seconds>,
     /// Reused crossing counts of the handoff stage's walker scan.
     crossings: Vec<usize>,
+    /// Scratch for the fused path's per-replication stage seed bases (one
+    /// entry per fused replication, rebuilt on each reseed).
+    bases: Vec<u64>,
 }
 
 impl DrawColumns {
@@ -375,6 +409,7 @@ impl DrawColumns {
             fac_b: Vec::new(),
             acc: Vec::new(),
             crossings: Vec::new(),
+            bases: Vec::new(),
         }
     }
 
@@ -382,10 +417,19 @@ impl DrawColumns {
     /// sizes the draw columns to the batch. The columns are pure scratch —
     /// every `fill_*` overwrites them end to end before anything reads
     /// them — so their contents are only touched when the batch shape
-    /// changes (once per session plus the tail batch).
+    /// changes (once per session plus the tail batch). A fused batch seeds
+    /// one contiguous lane segment per replication, each replaying its own
+    /// session's stage streams.
     fn reseed(&mut self, k: &BatchConsts, stage: u64, b: &FrameBatch) {
-        self.lanes
-            .reseed(k.stage_seed_base[stage as usize], b.first_index, b.n);
+        if k.stage_bases.len() == 1 {
+            self.lanes.reseed(k.base(0, stage), b.first_index, b.n);
+        } else {
+            self.bases.clear();
+            self.bases
+                .extend(k.stage_bases.iter().map(|bases| bases[stage as usize]));
+            self.lanes
+                .reseed_segments(&self.bases, b.first_index, b.per_rep);
+        }
         if self.raw_a.len() != b.n {
             self.raw_a.resize(b.n, 0);
             self.raw_b.resize(b.n, 0);
@@ -438,10 +482,19 @@ impl DrawColumns {
 
 /// One batch of frames in structure-of-arrays layout: a column per pipeline
 /// output plus the scratch buffers the stages reuse across batches. Columns
-/// are indexed by position within the batch; the absolute frame index is
-/// `first_index + i`.
+/// are indexed by position within the batch.
+///
+/// A batch holds `per_rep` frames of each of `n / per_rep` fused
+/// replications, laid out **rep-major**: lane `i` is frame
+/// `first_index + (i % per_rep)` of replication `i / per_rep`, so each
+/// replication's lanes form one contiguous segment that is exactly the
+/// batch a standalone run of that session would build. A plain session is
+/// the one-replication special case (`per_rep == n`).
 struct FrameBatch {
     first_index: u64,
+    /// Frames per replication in this batch.
+    per_rep: usize,
+    /// Total lane count: `per_rep ×` the number of fused replications.
     n: usize,
     /// One latency column per segment, in `Segment::ALL` order.
     latency: [Vec<Seconds>; Segment::ALL.len()],
@@ -455,6 +508,10 @@ struct FrameBatch {
     /// Topology mode: each frame's crossing/migration events from the walk
     /// pre-pass, priced later by the handoff stage.
     events: Vec<SiteEvents>,
+    /// Scratch: one replication's walk events before they are copied into
+    /// its `events` segment (`advance_many_into` clears its output, so the
+    /// fused pre-pass cannot append segments directly).
+    events_scratch: Vec<SiteEvents>,
     /// Scratch: the finalizer's per-frame power phases.
     phases: Vec<(Watts, Seconds)>,
     /// Scratch: the finalizer's Eq. 1 latency totals, one per frame.
@@ -481,6 +538,7 @@ impl FrameBatch {
     fn new() -> Self {
         Self {
             first_index: 0,
+            per_rep: 0,
             n: 0,
             latency: Default::default(),
             buffering: Vec::new(),
@@ -488,14 +546,16 @@ impl FrameBatch {
             windows: Vec::new(),
             sites: Vec::new(),
             events: Vec::new(),
+            events_scratch: Vec::new(),
             phases: Vec::new(),
             totals: Vec::new(),
             compute: Vec::new(),
         }
     }
 
-    /// Rewinds the batch onto `n` frames starting at absolute frame index
-    /// `first_index`.
+    /// Rewinds the batch onto `per_rep` frames starting at absolute frame
+    /// index `first_index`, for each of `reps` fused replications
+    /// (rep-major lane layout; a plain session passes `reps == 1`).
     ///
     /// Only the columns a stage *reads before writing* are re-zeroed each
     /// batch: the `max`-accumulators (`EXTERNAL`, `REMOTE_INFERENCE`,
@@ -505,8 +565,10 @@ impl FrameBatch {
     /// off for the whole session (gating lives in the per-session
     /// [`BatchConsts`]), in which case the column keeps the zeros it was
     /// created with — so skipping their memsets cannot leak a stale value.
-    fn reset(&mut self, first_index: u64, n: usize) {
+    fn reset(&mut self, first_index: u64, per_rep: usize, reps: usize) {
+        let n = per_rep * reps;
         self.first_index = first_index;
+        self.per_rep = per_rep;
         self.n = n;
         for column in &mut self.latency {
             column.resize(n, Seconds::ZERO);
@@ -520,8 +582,14 @@ impl FrameBatch {
         self.handoff_occurred.fill(false);
     }
 
+    /// Absolute frame index of lane `i` (rep-major layout).
     fn frame_index(&self, i: usize) -> u64 {
-        self.first_index + i as u64
+        self.first_index + (i % self.per_rep) as u64
+    }
+
+    /// Which fused replication lane `i` belongs to.
+    fn rep(&self, i: usize) -> usize {
+        i / self.per_rep
     }
 }
 
@@ -576,29 +644,145 @@ impl TestbedSimulator {
         self.fast_forward_session(scenario, &mut session, frames.start);
         let mut batch = FrameBatch::new();
         let mut draws = DrawColumns::new();
-        let mut out = Vec::with_capacity((frames.end - frames.start) as usize);
+        let mut out = vec![Vec::with_capacity((frames.end - frames.start) as usize)];
         let mut first = frames.start + 1;
         while first <= frames.end {
             let n = width.min(frames.end - first + 1) as usize;
-            batch.reset(first, n);
-            self.batch_walk(&consts, &mut batch, &mut session);
-            self.batch_generate(&consts, &mut batch, &mut draws);
-            self.batch_sense(&consts, &mut batch, &mut draws);
-            self.batch_buffer(&consts, &mut batch, &mut draws);
-            self.batch_encode(&consts, &mut batch, &mut draws);
-            self.batch_local_inference(&consts, &mut batch, &mut draws);
-            self.batch_uplink_and_edge(&consts, &mut batch, &mut draws);
-            self.batch_handoff(&consts, &mut batch, &mut draws, &mut session);
-            self.batch_render(&consts, &mut batch, &mut draws);
-            self.batch_cooperate(&consts, &mut batch, &mut draws);
-            self.batch_finalize(&consts, &mut batch, &mut out);
+            batch.reset(first, n, 1);
+            self.batch_pass(
+                &consts,
+                &mut batch,
+                &mut draws,
+                std::slice::from_mut(&mut session),
+                &mut out,
+            );
             first += n as u64;
         }
         Ok(GroundTruthSession {
-            frames: out,
+            frames: out.pop().expect("one fused lane"),
             migration_time: session.migration_time,
             sites_visited: session.sites_visited(),
         })
+    }
+
+    /// Runs the ten column stages over one prepared batch: the shared body
+    /// of the per-session driver above (`sessions.len() == 1`) and the
+    /// replication-fused point driver
+    /// ([`TestbedSimulator::simulate_point`]), which passes one session
+    /// state and one output vector per fused replication.
+    fn batch_pass(
+        &self,
+        consts: &BatchConsts,
+        batch: &mut FrameBatch,
+        draws: &mut DrawColumns,
+        sessions: &mut [SessionState],
+        outs: &mut [Vec<GroundTruthFrame>],
+    ) {
+        self.batch_walk(consts, batch, sessions);
+        self.batch_generate(consts, batch, draws);
+        self.batch_sense(consts, batch, draws);
+        self.batch_buffer(consts, batch, draws);
+        self.batch_encode(consts, batch, draws);
+        self.batch_local_inference(consts, batch, draws);
+        self.batch_uplink_and_edge(consts, batch, draws);
+        self.batch_handoff(consts, batch, draws, sessions);
+        self.batch_render(consts, batch, draws);
+        self.batch_cooperate(consts, batch, draws);
+        self.batch_finalize(consts, batch, outs);
+    }
+
+    /// Evaluates all `reps` replications of one operating point — the
+    /// replicated unit of work of a campaign — and returns one
+    /// [`GroundTruthSession`] per replication, in replication order.
+    /// Replication `r` runs under session seed `mix(point_seed, r)`, the
+    /// exact seed `xr_sweep::replication_seed` hands the per-rep dispatch
+    /// path, and its result is **bit-identical to a standalone**
+    /// `self.reseeded(mix(point_seed, r)).simulate_session(scenario,
+    /// frames)` by construction.
+    ///
+    /// With the fused engine ([`SimulationEngine::FusedPoint`]), more than
+    /// one replication, and no within-session range-chunking, the
+    /// replications are *fused*: one
+    /// `BatchConsts` hoist for the whole point, one rep-major
+    /// `FrameBatch`/`DrawColumns` pass per batch of frames (each
+    /// replication's lanes form a contiguous segment replaying its own
+    /// per-stage streams), and the sparse per-rep state (walkers, handoff
+    /// tallies, migration clocks) banked behind rep-indexed arrays.
+    /// Otherwise — a scalar or plain batched engine, `reps == 1`, or
+    /// `session_chunks > 1` —
+    /// the point falls back to sequential per-rep dispatch through
+    /// [`TestbedSimulator::simulate_session`].
+    ///
+    /// # Errors
+    ///
+    /// Returns scenario-validation and model errors (identical between the
+    /// fused and per-rep paths — every fallible hoist is seed-independent);
+    /// `reps` and `frames` must each be at least 1.
+    pub fn simulate_point(
+        &self,
+        scenario: &Scenario,
+        point_seed: u64,
+        reps: usize,
+        frames: u64,
+    ) -> Result<Vec<GroundTruthSession>> {
+        if reps == 0 {
+            return Err(xr_types::Error::invalid_parameter(
+                "reps",
+                "must be at least 1",
+            ));
+        }
+        let width = match self.engine() {
+            SimulationEngine::Scalar | SimulationEngine::Batched { .. } => None,
+            SimulationEngine::FusedPoint { width } => Some(width.max(1)),
+        };
+        let rep_seed = |rep: usize| xr_types::seed::mix(point_seed, rep as u64);
+        let (Some(width), true) = (width, reps > 1 && self.session_chunks() == 1) else {
+            return (0..reps)
+                .map(|rep| {
+                    self.reseeded(rep_seed(rep))
+                        .simulate_session(scenario, frames)
+                })
+                .collect();
+        };
+        if frames == 0 {
+            return Err(xr_types::Error::invalid_parameter(
+                "frames",
+                "must be at least 1",
+            ));
+        }
+        scenario.validate()?;
+        let consts = {
+            let seeds: Vec<u64> = (0..reps).map(rep_seed).collect();
+            BatchConsts::for_seeds(self, scenario, &seeds)?
+        };
+        let mut sessions: Vec<SessionState> = (0..reps)
+            .map(|rep| SessionState::new(&self.reseeded(rep_seed(rep)), scenario))
+            .collect();
+        let mut outs: Vec<Vec<GroundTruthFrame>> = (0..reps)
+            .map(|_| Vec::with_capacity(frames as usize))
+            .collect();
+        // Split the lane budget evenly across the replications so the fused
+        // batch touches about as much column memory per pass as a plain
+        // batched session would.
+        let per_rep_width = (width / reps).max(1) as u64;
+        let mut batch = FrameBatch::new();
+        let mut draws = DrawColumns::new();
+        let mut first = 1u64;
+        while first <= frames {
+            let per_rep = per_rep_width.min(frames - first + 1) as usize;
+            batch.reset(first, per_rep, reps);
+            self.batch_pass(&consts, &mut batch, &mut draws, &mut sessions, &mut outs);
+            first += per_rep as u64;
+        }
+        Ok(sessions
+            .iter()
+            .zip(outs)
+            .map(|(session, frames)| GroundTruthSession {
+                frames,
+                migration_time: session.migration_time,
+                sites_visited: session.sites_visited(),
+            })
+            .collect())
     }
 
     /// Topology pre-pass — the *other* sequential scan: advance the
@@ -611,25 +795,54 @@ impl TestbedSimulator {
     /// cannot change any stage's draws — only the walk's in-order totals
     /// matter, and those are identical to the scalar's frame-interleaved
     /// advances. A static topologized session pins every frame to its start
-    /// site with no events.
-    fn batch_walk(&self, k: &BatchConsts, b: &mut FrameBatch, session: &mut SessionState) {
+    /// site with no events. A fused batch runs the scan once per
+    /// replication over that replication's contiguous lane segment — each
+    /// walker's in-order advance sequence is exactly its standalone
+    /// session's.
+    fn batch_walk(&self, k: &BatchConsts, b: &mut FrameBatch, sessions: &mut [SessionState]) {
         if k.topology.is_none() {
             return;
         }
-        match session.topo.as_mut() {
-            Some(topo) if k.mobile => {
-                b.windows.clear();
-                b.windows.resize(b.n, k.window);
-                topo.advance_many_into(&b.windows, &mut b.events);
-                b.sites.clear();
-                b.sites.extend(b.events.iter().map(|events| events.site));
-                session.site = topo.site_index();
+        b.windows.clear();
+        b.windows.resize(b.per_rep, k.window);
+        if let [session] = sessions {
+            // The plain-session fast path walks straight into the batch
+            // columns (no segment copy).
+            match session.topo.as_mut() {
+                Some(topo) if k.mobile => {
+                    topo.advance_many_into(&b.windows, &mut b.events);
+                    b.sites.clear();
+                    b.sites.extend(b.events.iter().map(|events| events.site));
+                    session.site = topo.site_index();
+                }
+                _ => {
+                    b.sites.clear();
+                    b.sites.resize(b.n, session.site);
+                    b.events.clear();
+                    b.events.resize(b.n, SiteEvents::default());
+                }
             }
-            _ => {
-                b.sites.clear();
-                b.sites.resize(b.n, session.site);
-                b.events.clear();
-                b.events.resize(b.n, SiteEvents::default());
+            return;
+        }
+        b.sites.clear();
+        b.sites.resize(b.n, 0);
+        b.events.clear();
+        b.events.resize(b.n, SiteEvents::default());
+        for (rep, session) in sessions.iter_mut().enumerate() {
+            let lo = rep * b.per_rep;
+            let hi = lo + b.per_rep;
+            match session.topo.as_mut() {
+                Some(topo) if k.mobile => {
+                    topo.advance_many_into(&b.windows, &mut b.events_scratch);
+                    b.events[lo..hi].copy_from_slice(&b.events_scratch);
+                    for (site, events) in b.sites[lo..hi].iter_mut().zip(&b.events[lo..hi]) {
+                        *site = events.site;
+                    }
+                    session.site = topo.site_index();
+                }
+                _ => {
+                    b.sites[lo..hi].fill(session.site);
+                }
             }
         }
     }
@@ -783,7 +996,7 @@ impl TestbedSimulator {
             // server order, from the CONTENTION stream) is exactly the
             // scalar's.
             for i in 0..b.n {
-                let mut rng = k.rng(stream::CONTENTION, b.frame_index(i));
+                let mut rng = k.rng(b.rep(i), stream::CONTENTION, b.frame_index(i));
                 for &(weight, sojourn) in &plans[b.sites[i]].pairs {
                     let drawn = Seconds::new(sojourn.sample(&mut rng));
                     let remote = &mut b.latency[REMOTE_INFERENCE][i];
@@ -855,25 +1068,28 @@ impl TestbedSimulator {
         k: &BatchConsts,
         b: &mut FrameBatch,
         d: &mut DrawColumns,
-        session: &mut SessionState,
+        sessions: &mut [SessionState],
     ) {
         if !k.mobile {
             return;
         }
         if let Some(topology) = &k.topology {
-            // The walk pre-pass already advanced the topology walker; price
+            // The walk pre-pass already advanced the topology walkers; price
             // each frame's recorded events here. Crossing noise comes from
             // the HANDOFF stream and migration noise from the MIGRATION
             // stream — the same per-stream draw sequence as the scalar
             // stage (one sample per stream, only when its count is
             // nonzero), so a 1-site topology leaves both paths bit-identical
-            // to the single-zone pipeline.
+            // to the single-zone pipeline. In a fused batch each lane's
+            // streams and session tallies belong to its own replication.
             for i in 0..b.n {
                 let events = b.events[i];
                 if events.crossings == 0 {
                     continue;
                 }
-                let mut rng = k.rng(stream::HANDOFF, b.frame_index(i));
+                let rep = b.rep(i);
+                let session = &mut sessions[rep];
+                let mut rng = k.rng(rep, stream::HANDOFF, b.frame_index(i));
                 let mut pairs = StandardNormalPairs::new();
                 b.handoff_occurred[i] = true;
                 session.handoffs += events.crossings as u64;
@@ -881,7 +1097,7 @@ impl TestbedSimulator {
                     k.handoff_base * events.crossings as f64 * k.noise(&mut rng, &mut pairs);
                 if events.migrations > 0 {
                     session.migrations += events.migrations as u64;
-                    let mut migration_rng = k.rng(stream::MIGRATION, b.frame_index(i));
+                    let mut migration_rng = k.rng(rep, stream::MIGRATION, b.frame_index(i));
                     let mut migration_pairs = StandardNormalPairs::new();
                     let migration = topology.migration_base
                         * events.migrations as f64
@@ -897,23 +1113,27 @@ impl TestbedSimulator {
         // creates a walker whenever the device moves — which `k.mobile`
         // implies. (The scalar pipeline's Bernoulli fallback only exists for
         // standalone frames outside any session, which never reach this
-        // engine.)
-        let walker = session
-            .walker
-            .as_mut()
-            .expect("a mobile batched session always carries a walker");
+        // engine.) Each replication's walker scans its own lane segment.
         b.windows.clear();
-        b.windows.resize(b.n, k.window);
-        walker.advance_many_into(&b.windows, &mut d.crossings);
-        for (i, &count) in d.crossings.iter().enumerate() {
-            if count == 0 {
-                continue;
+        b.windows.resize(b.per_rep, k.window);
+        for (rep, session) in sessions.iter_mut().enumerate() {
+            let walker = session
+                .walker
+                .as_mut()
+                .expect("a mobile batched session always carries a walker");
+            walker.advance_many_into(&b.windows, &mut d.crossings);
+            let lo = rep * b.per_rep;
+            for (i, &count) in d.crossings.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let mut rng = k.rng(rep, stream::HANDOFF, b.first_index + i as u64);
+                let mut pairs = StandardNormalPairs::new();
+                b.handoff_occurred[lo + i] = true;
+                session.handoffs += count as u64;
+                b.latency[HANDOFF][lo + i] =
+                    k.handoff_base * count as f64 * k.noise(&mut rng, &mut pairs);
             }
-            let mut rng = k.rng(stream::HANDOFF, b.frame_index(i));
-            let mut pairs = StandardNormalPairs::new();
-            b.handoff_occurred[i] = true;
-            session.handoffs += count as u64;
-            b.latency[HANDOFF][i] = k.handoff_base * count as f64 * k.noise(&mut rng, &mut pairs);
         }
     }
 
@@ -960,7 +1180,12 @@ impl TestbedSimulator {
     /// order — `Segment::ALL` order, the same order the scalar finalizer's
     /// `BTreeMap` yields — so every floating-point sum accumulates
     /// identically and the emitted maps compare equal.
-    fn batch_finalize(&self, k: &BatchConsts, b: &mut FrameBatch, out: &mut Vec<GroundTruthFrame>) {
+    fn batch_finalize(
+        &self,
+        k: &BatchConsts,
+        b: &mut FrameBatch,
+        outs: &mut [Vec<GroundTruthFrame>],
+    ) {
         // Column prologue: the Eq. 1 latency total and the thermal-share
         // compute energy are plain slot-ascending accumulations, so they
         // run as one contiguous add pass per included slot — per frame the
@@ -1004,13 +1229,10 @@ impl TestbedSimulator {
             let trace_energy = self.monitor.measure_energy(
                 &b.phases,
                 self.base_power,
-                xr_types::seed::mix(
-                    k.stage_seed_base[stream::MONITOR as usize],
-                    b.frame_index(i),
-                ),
+                xr_types::seed::mix(k.base(b.rep(i), stream::MONITOR), b.frame_index(i)),
             );
             let thermal = b.compute[i] * self.thermal_fraction;
-            out.push(GroundTruthFrame {
+            outs[b.rep(i)].push(GroundTruthFrame {
                 latency,
                 total_latency: b.totals[i],
                 energy,
@@ -1291,6 +1513,145 @@ mod tests {
             let batched = testbed.simulate_session_batched(&s, 48, width).unwrap();
             assert_eq!(batched, scalar, "noiseless topology diverged at {width}");
         }
+    }
+
+    /// The per-rep reference `simulate_point` must reproduce: one
+    /// standalone session per replication seed.
+    fn per_rep_reference(
+        testbed: &TestbedSimulator,
+        s: &Scenario,
+        point_seed: u64,
+        reps: usize,
+        frames: u64,
+    ) -> Vec<GroundTruthSession> {
+        (0..reps)
+            .map(|rep| {
+                testbed
+                    .reseeded(xr_types::seed::mix(point_seed, rep as u64))
+                    .simulate_session(s, frames)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_points_match_per_rep_sessions_bit_for_bit() {
+        let point_seed = xr_types::seed::mix(2024, 17);
+        for (label, s) in [
+            ("local", scenario(500.0, 2.0, ExecutionTarget::Local)),
+            ("remote", scenario(500.0, 2.0, ExecutionTarget::Remote)),
+            ("mobile", mobile_scenario(25.0, 8.0)),
+        ] {
+            let testbed = TestbedSimulator::new(42);
+            let reference = per_rep_reference(&testbed, &s, point_seed, 4, 37);
+            for width in [1, 7, 64, 256] {
+                let fused = testbed
+                    .clone()
+                    .with_engine(SimulationEngine::FusedPoint { width })
+                    .simulate_point(&s, point_seed, 4, 37)
+                    .unwrap();
+                assert_eq!(fused, reference, "{label} diverged at width {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_topologized_and_contended_points_match_per_rep_sessions() {
+        use xr_types::{MigrationPolicy, TopologyLayout};
+        let testbed =
+            TestbedSimulator::new(51).with_engine(SimulationEngine::FusedPoint { width: 96 });
+        let point_seed = xr_types::seed::mix(7, 3);
+        let topo = topology_scenario(
+            TopologyLayout::Square,
+            MigrationPolicy::Eager,
+            2500.0,
+            Some(3),
+        );
+        let reference = per_rep_reference(&testbed, &topo, point_seed, 3, 53);
+        assert!(reference.iter().any(|s| s.sites_visited() > 1));
+        assert_eq!(
+            testbed.simulate_point(&topo, point_seed, 3, 53).unwrap(),
+            reference,
+            "topologized point diverged"
+        );
+        let contended = Scenario::builder()
+            .execution(ExecutionTarget::Remote)
+            .frame_side(300.0)
+            .frame_rate(xr_types::Hertz::new(5.0))
+            .contention(3)
+            .build()
+            .unwrap();
+        let reference = per_rep_reference(&testbed, &contended, point_seed, 5, 41);
+        assert_eq!(
+            testbed
+                .simulate_point(&contended, point_seed, 5, 41)
+                .unwrap(),
+            reference,
+            "contended point diverged"
+        );
+    }
+
+    #[test]
+    fn fused_point_fallbacks_and_errors_match_per_rep_dispatch() {
+        let s = scenario(400.0, 2.5, ExecutionTarget::Remote);
+        let point_seed = 99;
+        // reps == 1, scalar engine, and chunked sessions all take the
+        // per-rep fallback; each must equal the per-rep reference.
+        let fused =
+            TestbedSimulator::new(9).with_engine(SimulationEngine::FusedPoint { width: 32 });
+        assert_eq!(
+            fused.simulate_point(&s, point_seed, 1, 23).unwrap(),
+            per_rep_reference(&fused, &s, point_seed, 1, 23)
+        );
+        let scalar = TestbedSimulator::new(9).with_engine(SimulationEngine::Scalar);
+        assert_eq!(
+            scalar.simulate_point(&s, point_seed, 3, 23).unwrap(),
+            per_rep_reference(&scalar, &s, point_seed, 3, 23)
+        );
+        let chunked = fused.clone().with_session_chunks(2);
+        assert_eq!(
+            chunked.simulate_point(&s, point_seed, 3, 23).unwrap(),
+            per_rep_reference(&chunked, &s, point_seed, 3, 23)
+        );
+        // Degenerate inputs are rejected on every path.
+        assert!(fused.simulate_point(&s, point_seed, 0, 23).is_err());
+        assert!(fused.simulate_point(&s, point_seed, 3, 0).is_err());
+        assert!(scalar.simulate_point(&s, point_seed, 3, 0).is_err());
+        // Saturated queues error identically to per-rep dispatch.
+        let saturated = Scenario::builder()
+            .execution(ExecutionTarget::Remote)
+            .contention(100_000)
+            .build()
+            .unwrap();
+        let fused_err = fused
+            .simulate_point(&saturated, point_seed, 3, 5)
+            .unwrap_err();
+        let per_rep_err = fused
+            .reseeded(xr_types::seed::mix(point_seed, 0))
+            .simulate_session(&saturated, 5)
+            .unwrap_err();
+        assert_eq!(format!("{fused_err:?}"), format!("{per_rep_err:?}"));
+    }
+
+    #[test]
+    fn fused_engine_runs_single_sessions_like_batched() {
+        let testbed = TestbedSimulator::new(9);
+        let s = scenario(400.0, 2.5, ExecutionTarget::Remote);
+        let reference = testbed.simulate_session(&s, 23).unwrap();
+        let fused = testbed
+            .clone()
+            .with_engine(SimulationEngine::FusedPoint { width: 64 })
+            .simulate_session(&s, 23)
+            .unwrap();
+        assert_eq!(
+            fused,
+            testbed
+                .clone()
+                .with_engine(SimulationEngine::Batched { width: 64 })
+                .simulate_session(&s, 23)
+                .unwrap()
+        );
+        assert_eq!(fused, reference);
     }
 
     #[test]

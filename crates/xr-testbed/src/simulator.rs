@@ -1115,7 +1115,7 @@ impl TestbedSimulator {
         }
         match self.engine {
             SimulationEngine::Scalar => self.simulate_session_scalar(scenario, frames),
-            SimulationEngine::Batched { width } => {
+            SimulationEngine::Batched { width } | SimulationEngine::FusedPoint { width } => {
                 self.simulate_session_batched(scenario, frames, width)
             }
         }
@@ -1176,7 +1176,7 @@ impl TestbedSimulator {
     ) -> Result<GroundTruthSession> {
         match self.engine {
             SimulationEngine::Scalar => self.simulate_session_range_scalar(scenario, frames),
-            SimulationEngine::Batched { width } => {
+            SimulationEngine::Batched { width } | SimulationEngine::FusedPoint { width } => {
                 self.simulate_session_range_batched(scenario, frames, width)
             }
         }

@@ -127,6 +127,57 @@ impl LaneStreams {
         self.reseed_portable(stage_seed_base, first_frame);
     }
 
+    /// Re-seeds the bank as `seed_bases.len()` contiguous **segments** of
+    /// `per_segment` lanes each: lane `r * per_segment + j` becomes the
+    /// generator of frame `first_frame + j` under stage base
+    /// `seed_bases[r]`. Segment `r` is therefore bit-identical to a
+    /// standalone [`reseed`](LaneStreams::reseed) at `(seed_bases[r],
+    /// first_frame, per_segment)` — this is what lets the replication-fused
+    /// point engine stack R sessions' lanes side by side while each session
+    /// keeps replaying its own per-frame streams word for word.
+    ///
+    /// `reseed_segments(&[base], first_frame, width)` is exactly
+    /// `reseed(base, first_frame, width)`.
+    pub fn reseed_segments(&mut self, seed_bases: &[u64], first_frame: u64, per_segment: usize) {
+        let width = seed_bases.len() * per_segment;
+        if self.s0.len() != width {
+            self.s0.resize(width, 0);
+            self.s1.resize(width, 0);
+            self.s2.resize(width, 0);
+            self.s3.resize(width, 0);
+        }
+        #[cfg(target_arch = "x86_64")]
+        let use_avx2 = !force_portable() && std::arch::is_x86_feature_detected!("avx2");
+        for (r, &base) in seed_bases.iter().enumerate() {
+            let lo = r * per_segment;
+            let hi = lo + per_segment;
+            #[cfg(target_arch = "x86_64")]
+            if use_avx2 {
+                // SAFETY: AVX2 support was confirmed at runtime above.
+                #[allow(unsafe_code)]
+                unsafe {
+                    avx2::reseed(
+                        base,
+                        first_frame,
+                        &mut self.s0[lo..hi],
+                        &mut self.s1[lo..hi],
+                        &mut self.s2[lo..hi],
+                        &mut self.s3[lo..hi],
+                    );
+                }
+                continue;
+            }
+            reseed_portable_segment(
+                base,
+                first_frame,
+                &mut self.s0[lo..hi],
+                &mut self.s1[lo..hi],
+                &mut self.s2[lo..hi],
+                &mut self.s3[lo..hi],
+            );
+        }
+    }
+
     /// Seeds the bank onto an absolute frame *range*: lane `j` owns frame
     /// `frames.start + j`, one lane per frame of the half-open range. This
     /// is the within-session range-split entry point — a worker handed
@@ -153,22 +204,14 @@ impl LaneStreams {
     /// The portable seeding pass behind [`reseed`](LaneStreams::reseed);
     /// also the reference the AVX2 pass is pinned against.
     fn reseed_portable(&mut self, stage_seed_base: u64, first_frame: u64) {
-        let iter = self
-            .s0
-            .iter_mut()
-            .zip(self.s1.iter_mut())
-            .zip(self.s2.iter_mut().zip(self.s3.iter_mut()))
-            .enumerate();
-        for (j, ((s0, s1), (s2, s3))) in iter {
-            // `mix(stage_seed_base, frame)` followed by the shim's 4-word
-            // SplitMix64 expansion, inlined so the whole derivation is one
-            // branch-free pass over the lane columns.
-            let mut state = crate::seed::mix(stage_seed_base, first_frame + j as u64);
-            *s0 = splitmix64(&mut state);
-            *s1 = splitmix64(&mut state);
-            *s2 = splitmix64(&mut state);
-            *s3 = splitmix64(&mut state);
-        }
+        reseed_portable_segment(
+            stage_seed_base,
+            first_frame,
+            &mut self.s0,
+            &mut self.s1,
+            &mut self.s2,
+            &mut self.s3,
+        );
     }
 
     /// Advances every lane one xoshiro256++ step, writing lane `j`'s next
@@ -215,6 +258,35 @@ impl LaneStreams {
             *s2 ^= t;
             *s3 = s3.rotate_left(45);
         }
+    }
+}
+
+/// The portable seeding loop over one contiguous slice of each state
+/// column: lane `j` of the slices becomes the generator of frame
+/// `first_frame + j` under `stage_seed_base`. Shared by the whole-bank
+/// portable pass and the per-segment fused path.
+fn reseed_portable_segment(
+    stage_seed_base: u64,
+    first_frame: u64,
+    s0: &mut [u64],
+    s1: &mut [u64],
+    s2: &mut [u64],
+    s3: &mut [u64],
+) {
+    let iter = s0
+        .iter_mut()
+        .zip(s1.iter_mut())
+        .zip(s2.iter_mut().zip(s3.iter_mut()))
+        .enumerate();
+    for (j, ((s0, s1), (s2, s3))) in iter {
+        // `mix(stage_seed_base, frame)` followed by the shim's 4-word
+        // SplitMix64 expansion, inlined so the whole derivation is one
+        // branch-free pass over the lane columns.
+        let mut state = crate::seed::mix(stage_seed_base, first_frame + j as u64);
+        *s0 = splitmix64(&mut state);
+        *s1 = splitmix64(&mut state);
+        *s2 = splitmix64(&mut state);
+        *s3 = splitmix64(&mut state);
     }
 }
 
@@ -430,6 +502,51 @@ mod tests {
     #[should_panic(expected = "must be non-empty")]
     fn empty_lane_ranges_panic() {
         LaneStreams::new().reseed_range(1, 9..9);
+    }
+
+    #[test]
+    fn segments_replay_each_bases_own_streams() {
+        // Each segment must be bit-identical to a standalone reseed of its
+        // base — over segment widths that hit both the AVX2 main loop and
+        // every scalar-tail length, and over several bases per bank.
+        for per_segment in [1usize, 3, 5, 8, 21] {
+            for bases in [1usize, 2, 3, 5] {
+                let seed_bases: Vec<u64> = (0..bases)
+                    .map(|r| seed::mix(2024, 1000 + r as u64))
+                    .collect();
+                let mut lanes = LaneStreams::new();
+                lanes.reseed_segments(&seed_bases, 11, per_segment);
+                assert_eq!(lanes.width(), bases * per_segment);
+                let mut column = vec![0u64; bases * per_segment];
+                for draw in 0..4 {
+                    lanes.fill_next(&mut column);
+                    for (r, &base) in seed_bases.iter().enumerate() {
+                        let reference = scalar_columns(base, 11, per_segment, draw + 1);
+                        assert_eq!(
+                            &column[r * per_segment..(r + 1) * per_segment],
+                            &reference[draw][..],
+                            "segment {r} draw {draw} diverged at {bases}x{per_segment}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_segment_is_a_plain_reseed() {
+        let base = seed::mix(7, 4);
+        let mut segmented = LaneStreams::new();
+        segmented.reseed_segments(&[base], 3, 17);
+        let mut plain = LaneStreams::new();
+        plain.reseed(base, 3, 17);
+        let mut a = vec![0u64; 17];
+        let mut b = vec![0u64; 17];
+        for _ in 0..3 {
+            segmented.fill_next(&mut a);
+            plain.fill_next(&mut b);
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -85,6 +85,70 @@ fn replicated_mobility_campaign_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn fused_point_campaigns_match_the_per_rep_artifacts_across_worker_counts() {
+    // The replication-fused engine evaluates all replications of a point in
+    // one wide SoA pass; its campaign CSVs must be byte-identical to the
+    // per-rep path on every grid family — plain replicated, mobility,
+    // contention, and topology — and for every worker count.
+    let families: [(u64, SweepGrid); 4] = [
+        (2024, quick_grid()),
+        (
+            7,
+            parse_grid_spec(
+                "frame_sizes  = 500\n\
+                 cpu_clocks   = 2.0\n\
+                 executions   = remote\n\
+                 mobility     = static, walk:1.4:20, vehicle:25:10\n\
+                 replications = 4\n",
+            )
+            .unwrap(),
+        ),
+        (
+            13,
+            parse_grid_spec(
+                "frame_sizes    = 300\n\
+                 cpu_clocks     = 2.0\n\
+                 executions     = remote\n\
+                 frame_rates    = 5\n\
+                 users_per_edge = 1, 4, 8\n\
+                 replications   = 3\n",
+            )
+            .unwrap(),
+        ),
+        (
+            19,
+            parse_grid_spec(
+                "frame_sizes        = 300\n\
+                 cpu_clocks         = 2.0\n\
+                 executions         = remote\n\
+                 frame_rates        = 5\n\
+                 mobility           = vehicle:25:8\n\
+                 frames_per_session = 100\n\
+                 topology           = square, hex\n\
+                 site_density       = 400, 1600\n\
+                 migration_policy   = eager, lazy\n\
+                 replications       = 2\n",
+            )
+            .unwrap(),
+        ),
+    ];
+    for (seed, grid) in families {
+        let ctx = ExperimentContext::quick(seed).unwrap();
+        let reference =
+            csv_lines(&run_campaign_with(&ctx, &grid, &CampaignRunner::new(1)).unwrap());
+        let fused_ctx = ctx.with_fused_points();
+        for workers in [1, 3, 4] {
+            let rows = run_campaign_with(&fused_ctx, &grid, &CampaignRunner::new(workers)).unwrap();
+            assert_eq!(
+                csv_lines(&rows),
+                reference,
+                "fused campaign diverged from the per-rep artifact (seed {seed}, {workers} workers)"
+            );
+        }
+    }
+}
+
+#[test]
 fn contention_campaign_is_byte_identical_across_worker_counts_and_runs() {
     // The multi-tenant grid threads the edge stage through the CONTENTION
     // RNG streams; the campaign artifact must stay a pure function of
